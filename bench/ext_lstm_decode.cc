@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Extension bench (beyond the paper's figures, motivated by its §5
+ * intro): batch-1 LSTM decode — the latency-bound, vector-matrix
+ * workload sequence-to-sequence models produce — TSP pipeline vs the
+ * tensor-core baseline across hidden sizes and depths.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "workload/lstm.hh"
+
+using namespace tsm;
+
+int
+main()
+{
+    std::printf("=== Extension: batch-1 LSTM decode (256 timesteps) "
+                "===\n\n");
+    const TspCostModel cost;
+    Table table({"layers", "hidden", "TSPs", "TSP tok/s", "A100 tok/s",
+                 "speedup"});
+    for (unsigned layers : {2u, 4u, 8u}) {
+        for (unsigned hidden : {512u, 1024u, 2048u}) {
+            LstmConfig c;
+            c.layers = layers;
+            c.hidden = hidden;
+            const unsigned tsps = layers;
+            const auto tsp = lstmOnTsp(c, tsps, cost);
+            const auto gpu = lstmOnGpu(c, {});
+            table.addRow({Table::num(layers), Table::num(hidden),
+                          Table::num(tsps),
+                          Table::num(tsp.tokensPerSec, 0),
+                          Table::num(gpu.tokensPerSec, 0),
+                          Table::num(tsp.tokensPerSec /
+                                         gpu.tokensPerSec,
+                                     1) +
+                              "x"});
+        }
+    }
+    std::printf("%s\n", table.ascii().c_str());
+    std::printf("the recurrence forbids batching across time, so the "
+                "GPU pays 128-row tile\npadding on every M=1 matvec "
+                "plus a launch per step; the statically scheduled\n"
+                "pipeline keeps its matrix unit streaming — the "
+                "strong-scaling (\"capability\")\nregime the paper's "
+                "introduction frames the whole system around.\n");
+    return 0;
+}

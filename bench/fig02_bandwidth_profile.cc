@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig 2: the global bandwidth profile per TSP across system scales,
+ * with the bandwidth cliffs at each packaging boundary, plus the
+ * abstract's headline claims (10,440 TSPs, > 2 TB of global SRAM,
+ * < 3 us end-to-end latency).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "net/topology.hh"
+
+using namespace tsm;
+
+namespace {
+
+void
+row(Table &table, const Topology &topo)
+{
+    const double link_gbps = kC2cLinkBytesPerSec / 1e9;
+    unsigned local = 0, global = 0;
+    for (const auto &l : topo.links()) {
+        if (l.cls == LinkClass::IntraNode)
+            ++local;
+        else
+            ++global;
+    }
+    // Injection bandwidth per TSP into each level of the hierarchy.
+    const double local_inj =
+        2.0 * local * link_gbps / topo.numTsps(); // both directions
+    const double global_inj = 2.0 * global * link_gbps / topo.numTsps();
+    // Uniform-traffic throughput bound: bisection capacity shared by
+    // the endpoints on one side.
+    const double bisection = 2.0 * topo.bisectionLinks() * link_gbps /
+                             double(topo.numTsps());
+    table.addRow({Table::num(topo.numTsps()),
+                  topo.numRacks() > 1   ? "two-level"
+                  : topo.numNodes() > 1 ? "single-level"
+                                        : "node",
+                  Table::num(local_inj, 1), Table::num(global_inj, 1),
+                  Table::num(bisection, 1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig 2: global bandwidth profile per TSP ===\n\n");
+    Table table({"TSPs", "level", "local GB/s", "global GB/s",
+                 "bisection GB/s"});
+    row(table, Topology::makeNode());
+    for (unsigned nodes : {2u, 4u, 8u, 16u, 24u, 33u})
+        row(table, Topology::makeSingleLevel(nodes));
+    for (unsigned racks : {5u, 16u, 48u, 96u, 145u})
+        row(table, Topology::makeTwoLevel(racks));
+    std::printf("%s\n", table.ascii().c_str());
+    std::printf(
+        "cliffs: abundant intra-node wire density below 16 TSPs, ~50 "
+        "GB/s\nof global injection per TSP through 264 TSPs, then the "
+        "inter-rack\nlevel flattens toward ~14 GB/s per TSP at full "
+        "scale (paper Fig 2).\n\n");
+
+    // Headline system claims.
+    const Topology max = Topology::makeTwoLevel(kMaxRacks);
+    const double mem_tb =
+        double(max.numTsps()) * double(kLocalMemBytes) / 1e12;
+    // The paper's idealized minimal route: 2 hops in the source rack,
+    // 1 global, 2 in the destination rack.
+    const double ideal_us =
+        psToUs(2.0 * hopLatencyPs(LinkClass::IntraNode) +
+               2.0 * hopLatencyPs(LinkClass::IntraRack) +
+               1.0 * hopLatencyPs(LinkClass::InterRack));
+    // And the honest number for the wiring this library constructs
+    // (greedy port assignment can cost extra intra-rack hops).
+    const double measured_us = psToUs(double(max.latencyDiameterPs(4)));
+    std::printf("maximum configuration: %u TSPs in %u racks, %.2f TB "
+                "global SRAM\n",
+                max.numTsps(), max.numRacks(), mem_tb);
+    std::printf("end-to-end latency: %.2f us on the paper's idealized "
+                "5-hop route;\n%.2f us worst case over this library's "
+                "constructed wiring (%u-hop diameter)\n",
+                ideal_us, measured_us, max.diameter());
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 18: BERT encoder stacks of 6/24/48/96 layers on 1/4/8/16 TSPs —
+ * realized TOPs normalized to the single-TSP run scales linearly,
+ * because each added TSP brings compute and C2C links together.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "workload/bert.hh"
+
+using namespace tsm;
+
+int
+main()
+{
+    std::printf("=== Fig 18: BERT encoder scaling (6/24/48/96 encoders "
+                "on 1/4/8/16 TSPs) ===\n\n");
+    const TspCostModel cost;
+    const BertConfig geometry = BertConfig::large();
+
+    struct Point
+    {
+        unsigned encoders;
+        unsigned tsps;
+    };
+    const Point points[] = {{6, 1}, {24, 4}, {48, 8}, {96, 16}};
+
+    double tops1 = 0.0;
+    Table table({"encoders", "TSPs", "realized TOPs", "normalized",
+                 "ideal"});
+    for (const auto &pt : points) {
+        const auto est =
+            estimateBert(geometry.withEncoders(pt.encoders), pt.tsps,
+                         cost);
+        if (pt.tsps == 1)
+            tops1 = est.realizedTops;
+        table.addRow({Table::num(pt.encoders), Table::num(pt.tsps),
+                      Table::num(est.realizedTops, 1),
+                      Table::num(est.realizedTops / tops1, 2) + "x",
+                      Table::num(pt.tsps) + "x"});
+    }
+    std::printf("%s\n", table.ascii().c_str());
+    std::printf("throughput scales with device count because every "
+                "stage keeps 6 encoders\nand the boundary activations "
+                "overlap with compute (paper Fig 18: linear).\n");
+    return 0;
+}

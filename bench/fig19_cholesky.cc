@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig 19: Cholesky factorization across multiple TSPs — execution
+ * time vs problem size for 1/2/4/8 chips, the strong-scaling
+ * speedups, the realized TFLOPs anchors, and a numeric correctness
+ * check of the paper's rsqrt-based column kernel.
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "workload/cholesky.hh"
+
+using namespace tsm;
+
+int
+main()
+{
+    std::printf("=== Fig 19: Cholesky factorization on 1/2/4/8 TSPs "
+                "===\n\n");
+
+    // (c) execution time vs problem size.
+    Table table({"p", "1 TSP ms", "2 TSPs ms", "4 TSPs ms",
+                 "8 TSPs ms"});
+    for (std::uint64_t p : {2000ull, 4000ull, 8000ull, 16000ull,
+                            32000ull}) {
+        std::vector<std::string> cells{Table::num(p)};
+        for (unsigned d : {1u, 2u, 4u, 8u})
+            cells.push_back(
+                Table::num(choleskyEstimate(p, d).seconds * 1e3, 1));
+        table.addRow(std::move(cells));
+    }
+    std::printf("%s\n", table.ascii().c_str());
+
+    // Strong scaling at the calibration point.
+    const std::uint64_t p = 16000;
+    const double t1 = choleskyEstimate(p, 1).seconds;
+    std::printf("strong scaling at p=%llu: %.2fx / %.2fx / %.2fx on "
+                "2/4/8 TSPs (paper: 1.2/1.4/1.5)\n",
+                (unsigned long long)p,
+                t1 / choleskyEstimate(p, 2).seconds,
+                t1 / choleskyEstimate(p, 4).seconds,
+                t1 / choleskyEstimate(p, 8).seconds);
+    std::printf("realized throughput: %.1f TFLOPs on 4 TSPs, %.1f "
+                "TFLOPs on 8 TSPs (paper: 14.9 / 22.4)\n",
+                choleskyEstimate(p, 4).tflops,
+                choleskyEstimate(p, 8).tflops);
+    std::printf("the loop-carried vector-matrix dependence keeps the "
+                "serial fraction high,\nwhich is why speedups saturate "
+                "near 1.5x (paper §5.5).\n\n");
+
+    // Numeric kernel check: factor a random SPD matrix with the
+    // fast-rsqrt column pipeline and measure the residual.
+    const unsigned n = 64;
+    Rng rng(19);
+    std::vector<float> b(std::size_t(n) * n);
+    for (auto &x : b)
+        x = float(rng.uniform(-1.0, 1.0));
+    std::vector<float> a(std::size_t(n) * n, 0.0f);
+    for (unsigned r = 0; r < n; ++r)
+        for (unsigned c = 0; c < n; ++c) {
+            for (unsigned k = 0; k < n; ++k)
+                a[r * n + c] += b[r * n + k] * b[c * n + k];
+            if (r == c)
+                a[r * n + c] += float(n);
+        }
+    const auto original = a;
+    const bool ok = choleskyFactor(a, n);
+    std::printf("numeric kernel: %ux%u SPD factorization %s, residual "
+                "max|A - L Lt| = %.3e\n",
+                n, n, ok ? "succeeded" : "FAILED",
+                double(choleskyResidual(original, a, n)));
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * 8-way All-Reduce on a GroqNode vs the GPU shared-memory baseline:
+ * sweep the tensor size and print realized bus bandwidth for both,
+ * showing the synchronous fabric saturating orders of magnitude
+ * earlier (paper Fig 16).
+ *
+ *   ./allreduce
+ */
+
+#include <cstdio>
+
+#include "baseline/sharedmem_allreduce.hh"
+#include "collective/allreduce.hh"
+#include "common/table.hh"
+
+using namespace tsm;
+
+int
+main()
+{
+    const Topology node = Topology::makeNode();
+    HierarchicalAllReduce tsp(node);
+    const GpuAllReduceModel gpu;
+
+    Table table({"tensor", "TSP us", "TSP GB/s", "A100 us", "A100 GB/s"});
+    for (Bytes bytes = 4 * kKiB; bytes <= 256 * kMiB; bytes *= 4) {
+        const auto t = bytes <= 4 * kMiB ? tsp.scheduled(bytes)
+                                         : tsp.analytic(bytes);
+        const auto g = gpuRingAllReduce(gpu, bytes);
+        std::string label =
+            bytes >= kMiB
+                ? (std::to_string(bytes / kMiB) + " MiB")
+                : (std::to_string(bytes / kKiB) + " KiB");
+        table.addRow({label, Table::num(t.seconds * 1e6, 1),
+                      Table::num(t.busBandwidthBytesPerSec / 1e9, 1),
+                      Table::num(g.seconds * 1e6, 1),
+                      Table::num(g.busBandwidthBytesPerSec / 1e9, 1)});
+    }
+    std::printf("%s\n", table.ascii().c_str());
+
+    // The multi-hop latency budget of §5.6.
+    const Topology system = Topology::makeSingleLevel(32);
+    std::printf("small-message all-reduce latency, 256-TSP dragonfly: "
+                "%.2f us (paper: ~2.1 us over 3 hops)\n",
+                HierarchicalAllReduce(system).smallMessageLatencySec() *
+                    1e6);
+    return 0;
+}

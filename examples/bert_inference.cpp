@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BERT-Large inference on 4 TSPs: build the real encoder op graph,
+ * partition it across the pipeline with the movement-aware compiler,
+ * print the compiler's exact latency estimate, then "measure" many
+ * runs (only the PCIe legs vary) — the paper's Fig 17 experiment.
+ *
+ *   ./bert_inference [tsps] [runs]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "workload/bert.hh"
+
+using namespace tsm;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned tsps = argc > 1 ? unsigned(std::atoi(argv[1])) : 4;
+    const unsigned runs = argc > 2 ? unsigned(std::atoi(argv[2])) : 24240;
+
+    const BertConfig config = BertConfig::large();
+    const TspCostModel cost;
+
+    const Graph g = buildBertGraph(config);
+    std::printf("BERT-Large: %zu graph nodes, %.1f GFLOP/inference, "
+                "%.0f MB of weights\n",
+                g.size(), g.totalFlops() / 1e9,
+                double(g.weightBytes()) / 1e6);
+
+    const BertEstimate est = estimateBert(config, tsps, cost);
+    std::printf("pipeline over %u TSPs (%u encoders/stage):\n", tsps,
+                est.plan.stages.empty() ? 0
+                                        : est.plan.stages[0].numBlocks);
+    for (std::size_t s = 0; s < est.plan.stages.size(); ++s) {
+        const auto &st = est.plan.stages[s];
+        std::printf("  stage %zu: compute %.0f us, C2C %.0f us\n", s,
+                    TspCostModel::cyclesToSeconds(st.computeCycles) * 1e6,
+                    TspCostModel::cyclesToSeconds(st.commCycles) * 1e6);
+    }
+    std::printf("compiler latency estimate: %.1f us on-chip + %.1f us "
+                "PCIe = %.1f us\n",
+                est.chipSec * 1e6, est.pcieSec * 1e6, est.totalSec * 1e6);
+
+    // Measure: the chip portion repeats to the cycle; only PCIe
+    // invocation time varies run to run.
+    const SampleSet samples = simulateBertRuns(est, runs, Rng(2024));
+    const double p50 = samples.percentile(0.50) * 1e6;
+    const double p99 = samples.percentile(0.99) * 1e6;
+    const double pmax = samples.percentile(1.0) * 1e6;
+    std::printf("\n%u runs: p50 %.1f us, p99 %.1f us, max %.1f us\n",
+                runs, p50, p99, pmax);
+    std::printf("compiler estimate is within %.2f%% of the median\n",
+                (est.totalSec * 1e6 / p50 - 1.0) * 100.0);
+
+    // 5 us bins around the median, as in Fig 17.
+    Histogram hist((p50 - 30), (p50 + 50), 16);
+    for (double s : samples.samples())
+        hist.add(s * 1e6);
+    std::printf("\nlatency histogram (us, 5 us bins):\n%s",
+                hist.ascii(48).c_str());
+    return 0;
+}

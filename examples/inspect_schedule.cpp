@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The toolchain's inspector views: compile a contended workload, then
+ * print the per-flow summary, the first windows of the link timeline,
+ * the link-utilization profile (how well deterministic load balancing
+ * spread the traffic), and one chip's disassembly.
+ *
+ *   ./inspect_schedule
+ */
+
+#include <cstdio>
+
+#include "ssn/dump.hh"
+#include "workload/traffic_gen.hh"
+
+using namespace tsm;
+
+int
+main()
+{
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+
+    // A permutation workload plus one big transfer that needs
+    // non-minimal spreading.
+    auto transfers =
+        generateTraffic(topo, TrafficPattern::Permutation, 24, 7);
+    TensorTransfer big;
+    big.flow = FlowId(transfers.size() + 1);
+    big.src = 0;
+    big.dst = 4;
+    big.vectors = 128;
+    transfers.push_back(big);
+
+    const auto sched = scheduler.schedule(transfers);
+    std::printf("scheduled %zu flows, %zu vectors, makespan %llu "
+                "cycles (%.2f us)\n\n",
+                sched.flows.size(), sched.vectors.size(),
+                (unsigned long long)sched.makespan,
+                double(sched.makespan) / kCoreFreqHz * 1e6);
+
+    std::printf("--- flow summaries ---\n%s\n",
+                dumpFlowSummaries(sched).c_str());
+
+    std::printf("--- first 12 serialization windows ---\n%s\n",
+                dumpSchedule(sched, topo, 12).c_str());
+
+    std::printf("--- link utilization ---\n%s\n",
+                dumpLinkUtilization(sched, topo).c_str());
+
+    const auto programs = buildPrograms(sched, topo);
+    std::printf("--- tsp0 program (first 16 instructions of %zu) ---\n",
+                programs.byChip[0].size());
+    Program head;
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(16, programs.byChip[0].size()); ++i)
+        head.instrs.push_back(programs.byChip[0].instrs[i]);
+    std::printf("%s", disassemble(head).c_str());
+    return 0;
+}

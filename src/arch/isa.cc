@@ -1,0 +1,145 @@
+#include "arch/isa.hh"
+
+#include "common/format.hh"
+
+namespace tsm {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "NOP";
+      case Op::Compute: return "COMPUTE";
+      case Op::Halt: return "HALT";
+      case Op::Read: return "READ";
+      case Op::Write: return "WRITE";
+      case Op::VAdd: return "VADD";
+      case Op::VSub: return "VSUB";
+      case Op::VMul: return "VMUL";
+      case Op::VScale: return "VSCALE";
+      case Op::VRsqrt: return "VRSQRT";
+      case Op::VSplat: return "VSPLAT";
+      case Op::VCopy: return "VCOPY";
+      case Op::MxmLoadWeights: return "MXM.LW";
+      case Op::MxmClear: return "MXM.CLEAR";
+      case Op::MxmMatMul: return "MXM.MM";
+      case Op::SxmRotate: return "SXM.ROT";
+      case Op::Send: return "SEND";
+      case Op::Recv: return "RECV";
+      case Op::PollRecv: return "POLLRECV";
+      case Op::Sync: return "SYNC";
+      case Op::Notify: return "NOTIFY";
+      case Op::Deskew: return "DESKEW";
+      case Op::Transmit: return "TRANSMIT";
+      case Op::RuntimeDeskew: return "RUNTIME_DESKEW";
+    }
+    return "?";
+}
+
+std::string
+Instr::str() const
+{
+    std::string s = opName(op);
+    if (issueAt != kCycleUnscheduled)
+        s += format(" @{}", issueAt);
+    switch (op) {
+      case Op::Send:
+      case Op::Recv:
+        s += format(" port{} flow{}:{}", port, flow, seq);
+        break;
+      case Op::Read:
+      case Op::Write:
+        s += " " + addr.str();
+        break;
+      case Op::Compute:
+      case Op::Nop:
+      case Op::RuntimeDeskew:
+        s += format(" {}", imm);
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+Instr &
+Program::emit(Op op)
+{
+    instrs.emplace_back();
+    instrs.back().op = op;
+    return instrs.back();
+}
+
+Instr &
+Program::emitNop(Cycle cycles)
+{
+    Instr &i = emit(Op::Nop);
+    i.imm = std::int64_t(cycles);
+    return i;
+}
+
+Instr &
+Program::emitCompute(Cycle cycles)
+{
+    Instr &i = emit(Op::Compute);
+    i.imm = std::int64_t(cycles);
+    return i;
+}
+
+Instr &
+Program::emitRead(const LocalAddr &addr, unsigned dst_stream)
+{
+    Instr &i = emit(Op::Read);
+    i.addr = addr;
+    i.dst = std::uint8_t(dst_stream);
+    return i;
+}
+
+Instr &
+Program::emitWrite(unsigned src_stream, const LocalAddr &addr)
+{
+    Instr &i = emit(Op::Write);
+    i.addr = addr;
+    i.srcA = std::uint8_t(src_stream);
+    return i;
+}
+
+Instr &
+Program::emitSend(unsigned port, unsigned src_stream, std::uint32_t flow,
+                  std::uint32_t seq)
+{
+    Instr &i = emit(Op::Send);
+    i.port = std::uint8_t(port);
+    i.srcA = std::uint8_t(src_stream);
+    i.flow = flow;
+    i.seq = seq;
+    return i;
+}
+
+Instr &
+Program::emitRecv(unsigned port, unsigned dst_stream, std::uint32_t flow,
+                  std::uint32_t seq)
+{
+    Instr &i = emit(Op::Recv);
+    i.port = std::uint8_t(port);
+    i.dst = std::uint8_t(dst_stream);
+    i.flow = flow;
+    i.seq = seq;
+    return i;
+}
+
+Instr &
+Program::emitHalt()
+{
+    return emit(Op::Halt);
+}
+
+void
+Program::shift(Cycle base)
+{
+    for (Instr &i : instrs)
+        if (i.issueAt != kCycleUnscheduled)
+            i.issueAt += base;
+}
+
+} // namespace tsm

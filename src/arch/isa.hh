@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The instruction set of the modeled TSP, including the scale-out
+ * determinism support of paper Table 1 (SYNC, NOTIFY, DESKEW,
+ * TRANSMIT, RUNTIME_DESKEW) and the producer-consumer stream ops.
+ *
+ * The chip is a single logical core (paper §3): all functional units
+ * are statically scheduled against one time base. We model the program
+ * as one instruction sequence in which every instruction has a
+ * compile-time-known duration, and optionally a compile-time-assigned
+ * absolute issue cycle (`issueAt`) produced by the SSN scheduler. The
+ * executor *verifies* rather than *enforces* determinism: an operand
+ * that has not arrived by its scheduled consumption cycle is a
+ * scheduling bug and panics.
+ */
+
+#ifndef TSM_ARCH_ISA_HH
+#define TSM_ARCH_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/mem.hh"
+#include "common/units.hh"
+
+namespace tsm {
+
+/** Number of stream registers (32 eastward + 32 westward). */
+inline constexpr unsigned kNumStreams = 64;
+
+/** Sentinel: instruction issues as soon as the previous one retires. */
+inline constexpr Cycle kCycleUnscheduled = ~Cycle(0);
+
+/** Opcodes. */
+enum class Op : std::uint8_t
+{
+    Nop,     ///< idle for `imm` cycles (>= 1)
+    Compute, ///< opaque compute block of exactly `imm` cycles
+    Halt,    ///< end of program
+
+    // MEM functional slices
+    Read,  ///< stream[dst] = mem[addr]
+    Write, ///< mem[addr] = stream[srcA]
+
+    // VXM vector ALUs
+    VAdd,   ///< stream[dst] = stream[srcA] + stream[srcB]
+    VSub,   ///< stream[dst] = stream[srcA] - stream[srcB]
+    VMul,   ///< stream[dst] = stream[srcA] * stream[srcB]
+    VScale, ///< stream[dst] = stream[srcA] * fimm
+    VRsqrt, ///< stream[dst] = rsqrt(stream[srcA]) (fast approximation)
+    VSplat, ///< stream[dst] = broadcast(fimm)
+    VCopy,  ///< stream[dst] = stream[srcA]
+
+    // MXM matrix unit: weights load then [1 x K] x [K x 320] sub-ops
+    MxmLoadWeights, ///< append stream[srcA] as weight row `imm`
+    MxmClear,       ///< drop all loaded weight rows
+    MxmMatMul,      ///< stream[dst] = stream[srcA] (1xK) times weights
+
+    // SXM switch unit (simplified: lane rotation)
+    SxmRotate, ///< stream[dst] = rotate(stream[srcA], imm lanes)
+
+    // C2C communication
+    Send,     ///< transmit stream[srcA] on `port` tagged (flow, seq)
+    Recv,     ///< stream[dst] = exactly-now arrival on `port`; verifies tag
+    PollRecv, ///< poll `port` each HAC epoch until a flit arrives
+
+    // Scale-out determinism support (paper Table 1)
+    Sync,          ///< park instruction issue (awaits NOTIFY)
+    Notify,        ///< chip-wide restart signal, fixed known latency
+    Deskew,        ///< pause until the local HAC overflows (epoch start)
+    Transmit,      ///< send a sync-token control flit on `port`
+    RuntimeDeskew, ///< stall imm +/- (SAC - HAC) cycles, realign SAC
+};
+
+/** Printable opcode mnemonic. */
+const char *opName(Op op);
+
+/** One decoded instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+
+    std::uint8_t dst = 0;  ///< destination stream register
+    std::uint8_t srcA = 0; ///< first source stream register
+    std::uint8_t srcB = 0; ///< second source stream register
+    std::uint8_t port = 0; ///< C2C port for Send/Recv/Transmit
+
+    LocalAddr addr; ///< memory address for Read/Write
+
+    std::uint32_t flow = 0; ///< flow tag for Send/Recv
+    std::uint32_t seq = 0;  ///< sequence tag for Send/Recv
+
+    std::int64_t imm = 0; ///< cycles / rotation amount / weight row
+    float fimm = 0.0f;    ///< scalar operand
+
+    /** Absolute local issue cycle, or kCycleUnscheduled. */
+    Cycle issueAt = kCycleUnscheduled;
+
+    std::string str() const;
+};
+
+/** Chip-wide NOTIFY propagation latency in cycles (known, fixed). */
+inline constexpr Cycle kNotifyLatency = 8;
+
+/** A per-chip program: just an instruction sequence. */
+struct Program
+{
+    std::vector<Instr> instrs;
+
+    /** Append and return a reference for further field setup. */
+    Instr &emit(Op op);
+
+    // Convenience builders for common forms.
+    Instr &emitNop(Cycle cycles);
+    Instr &emitCompute(Cycle cycles);
+    Instr &emitRead(const LocalAddr &addr, unsigned dst_stream);
+    Instr &emitWrite(unsigned src_stream, const LocalAddr &addr);
+    Instr &emitSend(unsigned port, unsigned src_stream, std::uint32_t flow,
+                    std::uint32_t seq);
+    Instr &emitRecv(unsigned port, unsigned dst_stream, std::uint32_t flow,
+                    std::uint32_t seq);
+    Instr &emitHalt();
+
+    std::size_t size() const { return instrs.size(); }
+
+    /**
+     * Shift every scheduled issue cycle by `base` (relaunching a
+     * compiled program later on the same time base). Unscheduled
+     * instructions are untouched.
+     */
+    void shift(Cycle base);
+};
+
+} // namespace tsm
+
+#endif // TSM_ARCH_ISA_HH

@@ -1,0 +1,112 @@
+#include "arch/mem.hh"
+
+#include "common/format.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+std::uint32_t
+LocalAddr::flatten() const
+{
+    return ((std::uint32_t(hemisphere) * kSlicesPerHemisphere + slice) *
+                kBanksPerSlice +
+            bank) *
+               kWordsPerBank +
+           offset;
+}
+
+LocalAddr
+LocalAddr::unflatten(std::uint32_t flat)
+{
+    LocalAddr a;
+    a.offset = std::uint16_t(flat % kWordsPerBank);
+    flat /= kWordsPerBank;
+    a.bank = std::uint8_t(flat % kBanksPerSlice);
+    flat /= kBanksPerSlice;
+    a.slice = std::uint8_t(flat % kSlicesPerHemisphere);
+    flat /= kSlicesPerHemisphere;
+    a.hemisphere = std::uint8_t(flat);
+    return a;
+}
+
+bool
+LocalAddr::valid() const
+{
+    return hemisphere < kHemispheres && slice < kSlicesPerHemisphere &&
+           bank < kBanksPerSlice && offset < kWordsPerBank;
+}
+
+std::string
+LocalAddr::str() const
+{
+    return format("[h{} s{} b{} +{}]", hemisphere, slice, bank, offset);
+}
+
+std::uint64_t
+GlobalAddr::flatten() const
+{
+    return std::uint64_t(device) * LocalAddr::kWords + local.flatten();
+}
+
+GlobalAddr
+GlobalAddr::unflatten(std::uint64_t flat)
+{
+    GlobalAddr g;
+    g.device = std::uint32_t(flat / LocalAddr::kWords);
+    g.local = LocalAddr::unflatten(std::uint32_t(flat % LocalAddr::kWords));
+    return g;
+}
+
+std::string
+GlobalAddr::str() const
+{
+    return format("dev{}{}", device, local.str());
+}
+
+void
+LocalMemory::write(const LocalAddr &addr, VecPtr data)
+{
+    TSM_ASSERT(addr.valid(), "write outside the memory tensor shape");
+    words_[addr.flatten()] = std::move(data);
+    poisoned_.erase(addr.flatten());
+}
+
+bool
+LocalMemory::present(const LocalAddr &addr) const
+{
+    return words_.contains(addr.flatten());
+}
+
+VecPtr
+LocalMemory::read(const LocalAddr &addr) const
+{
+    TSM_ASSERT(addr.valid(), "read outside the memory tensor shape");
+    TSM_ASSERT(!poisoned(addr),
+               "read of a word with an uncorrectable error; the runtime "
+               "must replay instead");
+    auto it = words_.find(addr.flatten());
+    return it == words_.end() ? nullptr : it->second;
+}
+
+void
+LocalMemory::poison(const LocalAddr &addr)
+{
+    poisoned_[addr.flatten()] = true;
+}
+
+bool
+LocalMemory::poisoned(const LocalAddr &addr) const
+{
+    auto it = poisoned_.find(addr.flatten());
+    return it != poisoned_.end() && it->second;
+}
+
+void
+LocalMemory::reset()
+{
+    words_.clear();
+    poisoned_.clear();
+}
+
+} // namespace tsm

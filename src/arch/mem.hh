@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The TSP memory map and the system-wide global shared address space.
+ *
+ * Paper Fig 3: the global memory is "logically shared, but physically
+ * distributed SRAM", addressable as a rank-5 tensor
+ * [Device, Hemisphere, Slice, Bank, Offset] with shape
+ * [N, 2, 44, 2, 4096], where one address holds one 320-byte vector.
+ */
+
+#ifndef TSM_ARCH_MEM_HH
+#define TSM_ARCH_MEM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "arch/vec.hh"
+#include "common/units.hh"
+
+namespace tsm {
+
+/** A vector-granular address within one TSP's 220 MiB SRAM. */
+struct LocalAddr
+{
+    std::uint8_t hemisphere = 0; // [0, 2)
+    std::uint8_t slice = 0;      // [0, 44)
+    std::uint8_t bank = 0;       // [0, 2)
+    std::uint16_t offset = 0;    // [0, 4096)
+
+    /** Number of addressable vector words per TSP. */
+    static constexpr std::uint32_t kWords =
+        kHemispheres * kSlicesPerHemisphere * kBanksPerSlice * kWordsPerBank;
+
+    /** Flatten to a dense index in [0, kWords). */
+    std::uint32_t flatten() const;
+
+    /** Inverse of flatten(). */
+    static LocalAddr unflatten(std::uint32_t flat);
+
+    /** True if all coordinates are within the tensor shape. */
+    bool valid() const;
+
+    std::string str() const;
+
+    bool operator==(const LocalAddr &) const = default;
+};
+
+/** A vector-granular address in the global (multi-device) space. */
+struct GlobalAddr
+{
+    std::uint32_t device = 0;
+    LocalAddr local;
+
+    /** Flatten to a dense index across an N-device system. */
+    std::uint64_t flatten() const;
+
+    static GlobalAddr unflatten(std::uint64_t flat);
+
+    std::string str() const;
+
+    bool operator==(const GlobalAddr &) const = default;
+};
+
+/**
+ * One TSP's SRAM contents, stored sparsely (only written words occupy
+ * host memory). SECDED protection is modeled as per-word error state
+ * set by fault injection (runtime module) rather than as real check
+ * bits.
+ */
+class LocalMemory
+{
+  public:
+    /** Store a vector at `addr`, overwriting any previous contents. */
+    void write(const LocalAddr &addr, VecPtr data);
+
+    /** True if the word has been written since reset. */
+    bool present(const LocalAddr &addr) const;
+
+    /**
+     * Load the vector at `addr`. Reading an unwritten word returns a
+     * null payload (timing-only programs never materialize data).
+     */
+    VecPtr read(const LocalAddr &addr) const;
+
+    /** Mark a word as having an uncorrectable (multi-bit) error. */
+    void poison(const LocalAddr &addr);
+
+    /** True if the word carries an uncorrectable error. */
+    bool poisoned(const LocalAddr &addr) const;
+
+    /** Drop all contents and error state. */
+    void reset();
+
+    /** Number of distinct words written. */
+    std::size_t footprint() const { return words_.size(); }
+
+  private:
+    std::unordered_map<std::uint32_t, VecPtr> words_;
+    std::unordered_map<std::uint32_t, bool> poisoned_;
+};
+
+} // namespace tsm
+
+#endif // TSM_ARCH_MEM_HH

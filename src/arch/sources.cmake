@@ -1,0 +1,6 @@
+tsm_module(arch
+    vec.cc
+    mem.cc
+    isa.cc
+    chip.cc
+)

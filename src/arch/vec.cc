@@ -1,0 +1,89 @@
+#include "arch/vec.hh"
+
+#include <bit>
+#include <cstdint>
+
+namespace tsm {
+
+Vec
+Vec::add(const Vec &o) const
+{
+    Vec r;
+    for (unsigned i = 0; i < kLanes; ++i)
+        r.lanes_[i] = lanes_[i] + o.lanes_[i];
+    return r;
+}
+
+Vec
+Vec::sub(const Vec &o) const
+{
+    Vec r;
+    for (unsigned i = 0; i < kLanes; ++i)
+        r.lanes_[i] = lanes_[i] - o.lanes_[i];
+    return r;
+}
+
+Vec
+Vec::mul(const Vec &o) const
+{
+    Vec r;
+    for (unsigned i = 0; i < kLanes; ++i)
+        r.lanes_[i] = lanes_[i] * o.lanes_[i];
+    return r;
+}
+
+Vec
+Vec::scale(float s) const
+{
+    Vec r;
+    for (unsigned i = 0; i < kLanes; ++i)
+        r.lanes_[i] = lanes_[i] * s;
+    return r;
+}
+
+float
+Vec::laneSum() const
+{
+    float acc = 0.0f;
+    for (unsigned i = 0; i < kLanes; ++i)
+        acc += lanes_[i];
+    return acc;
+}
+
+float
+Vec::dot(const Vec &o, unsigned k) const
+{
+    float acc = 0.0f;
+    for (unsigned i = 0; i < k && i < kLanes; ++i)
+        acc += lanes_[i] * o.lanes_[i];
+    return acc;
+}
+
+float
+fastRsqrt(float x)
+{
+    // Bit-level initial estimate followed by two Newton-Raphson
+    // refinement steps; ~1e-6 relative error over normal inputs.
+    const auto bits = std::bit_cast<std::uint32_t>(x);
+    auto est = std::bit_cast<float>(0x5f3759dfu - (bits >> 1));
+    est = est * (1.5f - 0.5f * x * est * est);
+    est = est * (1.5f - 0.5f * x * est * est);
+    return est;
+}
+
+Vec
+Vec::rsqrt() const
+{
+    Vec r;
+    for (unsigned i = 0; i < kLanes; ++i)
+        r.lanes_[i] = fastRsqrt(lanes_[i]);
+    return r;
+}
+
+VecPtr
+makeVec(const Vec &v)
+{
+    return std::make_shared<const Vec>(v);
+}
+
+} // namespace tsm

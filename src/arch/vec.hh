@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The 320-lane vector value type.
+ *
+ * A vector is the TSP's fundamental datum: 320 byte-lanes wide (20
+ * tiles x 16 lanes), and also the network's flow-control unit (flit).
+ * We model lane values as fp32 regardless of the nominal element type;
+ * what the experiments measure is timing and reduction/matmul
+ * correctness, not numerical precision effects, except for rsqrt where
+ * the paper's "custom approximation" is modeled explicitly.
+ */
+
+#ifndef TSM_ARCH_VEC_HH
+#define TSM_ARCH_VEC_HH
+
+#include <array>
+#include <cstddef>
+#include <memory>
+
+#include "common/units.hh"
+
+namespace tsm {
+
+/** One 320-lane vector of values. */
+class Vec
+{
+  public:
+    static constexpr unsigned kLanes = kVectorBytes;
+
+    /** Zero-filled vector. */
+    Vec() : lanes_{} {}
+
+    /** Vector with every lane set to `fill`. */
+    explicit Vec(float fill) { lanes_.fill(fill); }
+
+    float &operator[](std::size_t i) { return lanes_[i]; }
+    const float &operator[](std::size_t i) const { return lanes_[i]; }
+
+    /** Elementwise arithmetic. */
+    Vec add(const Vec &o) const;
+    Vec sub(const Vec &o) const;
+    Vec mul(const Vec &o) const;
+
+    /** Multiply every lane by a scalar. */
+    Vec scale(float s) const;
+
+    /** Sum of all lanes. */
+    float laneSum() const;
+
+    /** Dot product over the first `k` lanes. */
+    float dot(const Vec &o, unsigned k = kLanes) const;
+
+    /**
+     * Lane-wise reciprocal square root using a fast initial estimate
+     * refined by two Newton-Raphson steps — the paper's Cholesky kernel
+     * uses "a custom approximation of the reciprocal square root".
+     */
+    Vec rsqrt() const;
+
+    bool operator==(const Vec &o) const { return lanes_ == o.lanes_; }
+
+  private:
+    std::array<float, kLanes> lanes_;
+};
+
+/**
+ * Shared immutable payload handle. Timing-only flits carry a null
+ * payload so bulk transfers need not materialize data.
+ */
+using VecPtr = std::shared_ptr<const Vec>;
+
+/** Wrap a vector into a shared immutable payload. */
+VecPtr makeVec(const Vec &v);
+
+/** Fast scalar reciprocal square root (same approximation as Vec::rsqrt). */
+float fastRsqrt(float x);
+
+} // namespace tsm
+
+#endif // TSM_ARCH_VEC_HH

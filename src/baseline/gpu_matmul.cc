@@ -1,0 +1,59 @@
+#include "baseline/gpu_matmul.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+GpuGemmEstimate
+gpuGemmUtilization(const GpuModel &gpu, std::uint64_t m, std::uint64_t k,
+                   std::uint64_t n)
+{
+    TSM_ASSERT(m && k && n, "degenerate GEMM shape");
+    GpuGemmEstimate est;
+    const std::uint64_t tiles_m = (m + gpu.tileM - 1) / gpu.tileM;
+    const std::uint64_t tiles_n = (n + gpu.tileN - 1) / gpu.tileN;
+    est.tiles = tiles_m * tiles_n;
+    est.waves = (est.tiles + gpu.sms - 1) / gpu.sms;
+
+    // Useful work vs machine-time spent: every wave costs a full
+    // gpu.sms * tile FLOPs worth of machine time; edge tiles do padded
+    // work.
+    const double useful = double(m) * double(n) * double(k);
+    const double machine = double(est.waves) * double(gpu.sms) *
+                           double(gpu.tileM) * double(gpu.tileN) *
+                           double(k);
+    est.utilization = gpu.efficiencyCeiling * useful / machine;
+    est.tflops = est.utilization * gpu.peakFp16Tflops;
+    return est;
+}
+
+double
+TspMatmulModel::peakFp16Tflops() const
+{
+    // Each sub-op is [1 x K'] x [K' x 320]: 2*K'*320 flops.
+    const double flops_per_cycle =
+        2.0 * tileK * tileN * subopsPerCycle;
+    return flops_per_cycle * clockGhz * 1e9 / 1e12;
+}
+
+TspGemmEstimate
+tspGemmUtilization(const TspMatmulModel &tsp, std::uint64_t m,
+                   std::uint64_t k, std::uint64_t n)
+{
+    TSM_ASSERT(m && k && n, "degenerate GEMM shape");
+    TspGemmEstimate est;
+    const std::uint64_t n_tiles = (n + tsp.tileN - 1) / tsp.tileN;
+    const std::uint64_t k_tiles = (k + tsp.tileK - 1) / tsp.tileK;
+    // One sub-op per (row, n-tile, k-tile).
+    est.subops = m * n_tiles * k_tiles;
+    est.cycles = (est.subops + tsp.subopsPerCycle - 1) / tsp.subopsPerCycle;
+
+    const double useful = double(m) * double(n) * double(k);
+    const double machine = double(est.subops) * double(tsp.tileK) *
+                           double(tsp.tileN);
+    est.utilization = useful / machine;
+    est.tflops = est.utilization * tsp.peakFp16Tflops();
+    return est;
+}
+
+} // namespace tsm

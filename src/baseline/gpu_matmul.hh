@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Analytic utilization model of a tensor-core GPU (A100-class) for
+ * matrix multiplication — the Fig 13 comparison baseline.
+ *
+ * The model follows Nvidia's own "Matrix Multiplication Background"
+ * guidance (the paper's reference [33]): work is decomposed into
+ * thread-block tiles (128x128 here); a wave is the set of tiles the
+ * 108 SMs execute concurrently. Utilization losses come from
+ * (1) tile quantization — partial tiles at the matrix edges do full-
+ * tile work — and (2) wave quantization — the final wave runs with
+ * idle SMs. Both produce the characteristic sawtooth of Fig 13.
+ */
+
+#ifndef TSM_BASELINE_GPU_MATMUL_HH
+#define TSM_BASELINE_GPU_MATMUL_HH
+
+#include <cstdint>
+
+namespace tsm {
+
+/** A100-like machine description. */
+struct GpuModel
+{
+    unsigned sms = 108;       ///< streaming multiprocessors
+    unsigned tileM = 128;     ///< thread-block tile rows
+    unsigned tileN = 128;     ///< thread-block tile cols
+    double peakFp16Tflops = 312.0;
+
+    /** Fraction of peak reachable even with perfect quantization
+     *  (instruction overheads, memory stalls). */
+    double efficiencyCeiling = 0.9;
+};
+
+/** Utilization/throughput prediction for one GEMM. */
+struct GpuGemmEstimate
+{
+    double utilization = 0.0; ///< fraction of peak FLOPs
+    double tflops = 0.0;
+    std::uint64_t tiles = 0;
+    std::uint64_t waves = 0;
+};
+
+/**
+ * Estimate utilization for C[M x N] = A[M x K] * B[K x N] on the GPU
+ * model. K enters only through total work (quantization along K is
+ * second-order for the sizes of interest).
+ */
+GpuGemmEstimate gpuGemmUtilization(const GpuModel &gpu, std::uint64_t m,
+                                   std::uint64_t k, std::uint64_t n);
+
+/** TSP machine description for the same estimate (paper §5.2). */
+struct TspMatmulModel
+{
+    /** Output columns per sub-operation (vector lanes). */
+    unsigned tileN = 320;
+
+    /** Reduction depth per fp16 sub-operation. */
+    unsigned tileK = 160;
+
+    /** fp16 sub-operations retired per cycle. */
+    unsigned subopsPerCycle = 2;
+
+    double clockGhz = 0.9;
+
+    /** Peak fp16 TFLOPs: 2 * 160 * 320 * 2/cycle * 0.9 GHz. */
+    double peakFp16Tflops() const;
+};
+
+/** Utilization/throughput prediction for the TSP. */
+struct TspGemmEstimate
+{
+    double utilization = 0.0;
+    double tflops = 0.0;
+    std::uint64_t subops = 0;
+    std::uint64_t cycles = 0;
+};
+
+/**
+ * Estimate utilization for the TSP decomposition into [1 x K']x[K' x
+ * 320] sub-operations (K' = 160 fp16): quantization happens along N
+ * (320-wide output tiles) and K (160-deep weight loads) only — there
+ * is no wave quantization because the chip is one logical core, which
+ * is why the paper reports a flat >= 80% across N (Fig 13).
+ */
+TspGemmEstimate tspGemmUtilization(const TspMatmulModel &tsp,
+                                   std::uint64_t m, std::uint64_t k,
+                                   std::uint64_t n);
+
+} // namespace tsm
+
+#endif // TSM_BASELINE_GPU_MATMUL_HH

@@ -1,0 +1,239 @@
+#include "baseline/hw_router.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+HwRoutedNetwork::HwRoutedNetwork(const Topology &topo, EventQueue &eq,
+                                 const Rng &rng, HwConfig config)
+    : topo_(&topo), eventq_(&eq), rng_(rng.fork(0x68777274)),
+      seed_(rng.fork(0x68777275).next64()), config_(config)
+{
+    TSM_ASSERT(config_.numVcs >= 1, "need at least one virtual channel");
+    routers_.resize(topo.numTsps());
+    for (TspId t = 0; t < topo.numTsps(); ++t) {
+        auto &r = routers_[t];
+        r.inputs.resize(std::size_t(kPortsPerTsp) * config_.numVcs);
+        r.credits.assign(std::size_t(kPortsPerTsp) * config_.numVcs,
+                         config_.queueDepth);
+        r.outputBusyUntil.assign(kPortsPerTsp, 0);
+    }
+}
+
+const std::vector<LinkId> &
+HwRoutedNetwork::minimalOutputs(TspId at, TspId dst)
+{
+    auto it = routeCache_.find(dst);
+    if (it == routeCache_.end()) {
+        // BFS from dst over the multigraph, then collect, per tsp, the
+        // links that decrease distance.
+        std::vector<unsigned> dist(topo_->numTsps(), ~0u);
+        std::deque<TspId> queue{dst};
+        dist[dst] = 0;
+        while (!queue.empty()) {
+            const TspId cur = queue.front();
+            queue.pop_front();
+            for (LinkId l : topo_->linksAt(cur)) {
+                if (!topo_->linkEnabled(l))
+                    continue;
+                const TspId next = topo_->links()[l].peer(cur);
+                if (dist[next] == ~0u) {
+                    dist[next] = dist[cur] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        std::vector<std::vector<LinkId>> table(topo_->numTsps());
+        for (TspId t = 0; t < topo_->numTsps(); ++t) {
+            for (LinkId l : topo_->linksAt(t)) {
+                if (!topo_->linkEnabled(l))
+                    continue;
+                const TspId next = topo_->links()[l].peer(t);
+                if (dist[next] + 1 == dist[t])
+                    table[t].push_back(l);
+            }
+        }
+        it = routeCache_.emplace(dst, std::move(table)).first;
+    }
+    return it->second[at];
+}
+
+unsigned
+HwRoutedNetwork::nextVc(const Packet &pkt, LinkId link, TspId from) const
+{
+    if (config_.numVcs <= 1)
+        return 0;
+    // Dateline rule: crossing the wrap-around link (highest TSP ->
+    // TSP 0 direction) bumps the packet to the next VC, breaking the
+    // cyclic dependency around the ring.
+    const Link &l = topo_->links()[link];
+    const TspId to = l.peer(from);
+    const bool crosses_dateline =
+        (from == topo_->numTsps() - 1 && to == 0);
+    if (crosses_dateline)
+        return std::min(pkt.vc + 1, config_.numVcs - 1);
+    return pkt.vc;
+}
+
+void
+HwRoutedNetwork::inject(FlowId flow, TspId src, TspId dst,
+                        std::uint32_t vectors, Tick when)
+{
+    TSM_ASSERT(src != dst, "injection to self");
+    flowOutstanding_[flow] += vectors;
+    injected_ += vectors;
+    const Tick ser = Tick(kVectorSerializationPs);
+    for (std::uint32_t v = 0; v < vectors; ++v) {
+        const Tick t = when + v * ser; // line-rate source
+        eventq_->schedule(t, [this, flow, v, src, dst, t] {
+            Packet pkt;
+            pkt.flow = flow;
+            pkt.seq = v;
+            pkt.dst = dst;
+            pkt.injected = t;
+            routers_[src].injection.push_back(pkt);
+            kick(src);
+        });
+    }
+}
+
+void
+HwRoutedNetwork::kick(TspId router)
+{
+    for (LinkId l : topo_->linksAt(router))
+        if (topo_->linkEnabled(l))
+            tryForward(router, l);
+}
+
+void
+HwRoutedNetwork::tryForward(TspId router, LinkId out)
+{
+    RouterState &r = routers_[router];
+    const Link &link = topo_->links()[out];
+    const unsigned out_port = link.portAt(router);
+
+    if (r.outputBusyUntil[out_port] > eventq_->now())
+        return; // serializing another packet
+
+    // Arbitrate round-robin over the input FIFOs — one per (port,
+    // VC) — with the injection queue as the last slot.
+    const unsigned arbs =
+        kPortsPerTsp * config_.numVcs + 1;
+    const unsigned inj_slot = arbs - 1;
+    for (unsigned probe = 0; probe < arbs; ++probe) {
+        const unsigned slot = (r.rrPointer + probe) % arbs;
+        std::deque<Packet> &fifo =
+            slot == inj_slot ? r.injection : r.inputs[slot];
+        if (fifo.empty())
+            continue;
+        const Packet &head = fifo.front();
+
+        // Route the head packet: does it want this output?
+        const auto &outs = minimalOutputs(router, head.dst);
+        TSM_ASSERT(!outs.empty(), "no route toward destination");
+        LinkId want = outs.front();
+        if (config_.routing == HwRouting::ObliviousMinimal &&
+            outs.size() > 1) {
+            // Per-(packet, hop) choice: varies packet to packet but
+            // is stable across arbitration retries (a head must not
+            // change its mind while waiting, or it can starve waiting
+            // for an output nobody will wake).
+            std::uint64_t h = (std::uint64_t(head.flow) << 32) ^
+                              (std::uint64_t(head.seq) << 8) ^ router ^
+                              (seed_ * 0x9e3779b97f4a7c15ULL);
+            h ^= h >> 33;
+            h *= 0xff51afd7ed558ccdULL;
+            h ^= h >> 33;
+            want = outs[h % outs.size()];
+        } else if (config_.routing == HwRouting::AdaptiveMinimal) {
+            unsigned best_credit = 0;
+            for (LinkId cand : outs) {
+                const unsigned cp = topo_->links()[cand].portAt(router);
+                const unsigned cv = nextVc(head, cand, router);
+                if (r.credits[pv(cp, cv)] > best_credit) {
+                    best_credit = r.credits[pv(cp, cv)];
+                    want = cand;
+                }
+            }
+        }
+        if (want != out)
+            continue;
+
+        // The packet's VC on the outgoing link (dateline may bump it);
+        // it needs a downstream credit on that VC.
+        const unsigned out_vc = nextVc(head, out, router);
+        const TspId next = link.peer(router);
+        const bool ejecting = next == head.dst;
+        if (!ejecting && r.credits[pv(out_port, out_vc)] == 0)
+            continue; // this VC's downstream buffer is full
+
+        // Forward: occupy the output for the serialization time, and
+        // consume a credit unless the next hop is the destination's
+        // ejection (modeled as infinite sink).
+        Packet pkt = fifo.front();
+        fifo.pop_front();
+        r.rrPointer = (slot + 1) % arbs;
+
+        const Tick ser = Tick(kVectorSerializationPs);
+        const Tick prop = linkPropagationPs(link.cls);
+        const Tick depart = eventq_->now();
+        r.outputBusyUntil[out_port] = depart + ser;
+
+        const unsigned prev_vc = pkt.vc;
+        pkt.vc = out_vc;
+        if (!ejecting)
+            --r.credits[pv(out_port, out_vc)];
+
+        // If the packet came from an input FIFO, a credit returns to
+        // the upstream router once the buffer slot frees (now).
+        if (slot != inj_slot) {
+            const unsigned in_port = slot / config_.numVcs;
+            const auto in_link = topo_->linkAtPort(router, in_port);
+            TSM_ASSERT(in_link.has_value(), "input slot without a link");
+            const TspId upstream = topo_->links()[*in_link].peer(router);
+            const unsigned up_port = topo_->links()[*in_link].portAt(upstream);
+            eventq_->schedule(depart + prop,
+                              [this, upstream, up_port, prev_vc] {
+                ++routers_[upstream].credits[pv(up_port, prev_vc)];
+                kick(upstream);
+            });
+        }
+
+        eventq_->schedule(depart + ser + prop,
+                          [this, next, out, pkt] { arrive(next, out, pkt); });
+
+        // This output is busy now; re-evaluate the whole router when
+        // it frees (a new head may prefer a different output).
+        eventq_->schedule(depart + ser, [this, router] { kick(router); });
+        return;
+    }
+}
+
+void
+HwRoutedNetwork::arrive(TspId router, LinkId in, Packet pkt)
+{
+    if (router == pkt.dst) {
+        ++delivered_;
+        latency_.add(psToNs(double(eventq_->now() - pkt.injected)));
+        auto &outstanding = flowOutstanding_[pkt.flow];
+        TSM_ASSERT(outstanding > 0, "over-delivered flow");
+        if (--outstanding == 0)
+            flowDone_[pkt.flow] = eventq_->now();
+        return;
+    }
+    const unsigned in_port = topo_->links()[in].portAt(router);
+    routers_[router].inputs[pv(in_port, pkt.vc)].push_back(pkt);
+    kick(router);
+}
+
+Tick
+HwRoutedNetwork::flowCompletion(FlowId f) const
+{
+    auto it = flowDone_.find(f);
+    TSM_ASSERT(it != flowDone_.end(), "flow not complete (or unknown)");
+    return it->second;
+}
+
+} // namespace tsm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A conventional hardware-routed network on the same topology — the
+ * baseline SSN is contrasted against (paper Fig 1, Fig 8).
+ *
+ * Each TSP position hosts an input-queued router: per-input-port
+ * FIFOs, credit-based flow control toward downstream buffers,
+ * round-robin output arbitration, and per-packet routing (deterministic
+ * minimal, oblivious random among minimal ports, or credit-greedy
+ * adaptive). All the machinery the paper deletes — arbitration,
+ * queueing, back-pressure — lives here, and produces the latency
+ * variance the deterministic design eliminates.
+ */
+
+#ifndef TSM_BASELINE_HW_ROUTER_HH
+#define TSM_BASELINE_HW_ROUTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "net/flit.hh"
+#include "net/topology.hh"
+#include "sim/event_queue.hh"
+
+namespace tsm {
+
+/** Routing policy of the baseline router. */
+enum class HwRouting : std::uint8_t
+{
+    DeterministicMinimal, ///< always the first minimal output
+    ObliviousMinimal,     ///< uniform-random among minimal outputs
+    AdaptiveMinimal,      ///< minimal output with most credits
+};
+
+/** Baseline router configuration. */
+struct HwConfig
+{
+    HwRouting routing = HwRouting::ObliviousMinimal;
+
+    /** Downstream buffer depth per input VC, in packets (credits). */
+    unsigned queueDepth = 8;
+
+    /**
+     * Virtual channels per port (paper §4.4: hardware torus networks
+     * need VCs to break the cyclic channel dependencies around the
+     * ring; SSN needs none). With > 1 VC the classic dateline rule
+     * applies: a packet crossing the wrap-around link between the
+     * highest-numbered TSP and TSP 0 moves up one VC.
+     */
+    unsigned numVcs = 1;
+};
+
+/**
+ * The dynamically routed network. Inject packets, run the event
+ * queue, read the statistics.
+ */
+class HwRoutedNetwork
+{
+  public:
+    HwRoutedNetwork(const Topology &topo, EventQueue &eq, const Rng &rng,
+                    HwConfig config = {});
+
+    /**
+     * Inject a message of `vectors` packets from src toward dst
+     * starting at tick `when` (packets enter the source's injection
+     * queue at line rate).
+     */
+    void inject(FlowId flow, TspId src, TspId dst, std::uint32_t vectors,
+                Tick when);
+
+    /** Packets delivered to their destinations so far. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Packets injected so far. */
+    std::uint64_t injected() const { return injected_; }
+
+    /**
+     * Packets wedged in the network: call after the event queue has
+     * drained. Nonzero means the network deadlocked — packets hold
+     * buffers while waiting for buffers in a cycle (paper §4.4).
+     */
+    std::uint64_t stuck() const { return injected_ - delivered_; }
+
+    /** Per-packet network latency samples (ns). */
+    const SampleSet &packetLatencyNs() const { return latency_; }
+
+    /** Completion tick of a flow (last packet delivered). */
+    Tick flowCompletion(FlowId f) const;
+
+  private:
+    struct Packet
+    {
+        FlowId flow = kFlowInvalid;
+        std::uint32_t seq = 0;
+        TspId dst = kTspInvalid;
+        Tick injected = 0;
+        unsigned vc = 0;
+    };
+
+    /**
+     * One router node: an injection queue plus one FIFO per (input
+     * port, VC), and per-(output port, VC) credits plus per-output
+     * busy state.
+     */
+    struct RouterState
+    {
+        std::deque<Packet> injection;
+        std::vector<std::deque<Packet>> inputs; // [port * numVcs + vc]
+        std::vector<unsigned> credits;          // [port * numVcs + vc]
+        std::vector<Tick> outputBusyUntil;      // per output port
+        unsigned rrPointer = 0;
+    };
+
+    /** Index of (port, vc) in the per-router arrays. */
+    std::size_t
+    pv(unsigned port, unsigned vc) const
+    {
+        return std::size_t(port) * config_.numVcs + vc;
+    }
+
+    /** VC a packet uses after traversing `link` from `from`. */
+    unsigned nextVc(const Packet &pkt, LinkId link, TspId from) const;
+
+    /** Minimal output ports at `at` toward `dst` (link ids). */
+    const std::vector<LinkId> &minimalOutputs(TspId at, TspId dst);
+
+    /** Try to forward a packet through (router, output link). */
+    void tryForward(TspId router, LinkId out);
+
+    /** Kick every output of a router that might now make progress. */
+    void kick(TspId router);
+
+    /** Handle a packet landing at `router` via input link `in`. */
+    void arrive(TspId router, LinkId in, Packet pkt);
+
+    const Topology *topo_;
+    EventQueue *eventq_;
+    Rng rng_;
+    std::uint64_t seed_;
+    HwConfig config_;
+
+    std::vector<RouterState> routers_;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t injected_ = 0;
+    SampleSet latency_;
+    std::unordered_map<FlowId, Tick> flowDone_;
+    std::unordered_map<FlowId, std::uint64_t> flowOutstanding_;
+
+    /** Cache: (dst) -> per-tsp minimal output link lists. */
+    std::unordered_map<TspId, std::vector<std::vector<LinkId>>> routeCache_;
+};
+
+} // namespace tsm
+
+#endif // TSM_BASELINE_HW_ROUTER_HH

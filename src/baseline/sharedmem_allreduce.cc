@@ -1,0 +1,45 @@
+#include "baseline/sharedmem_allreduce.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+namespace {
+
+AllReduceEstimate
+ringModel(unsigned n, double bytes_per_sec, double launch, double mailbox,
+          double efficiency, Bytes bytes)
+{
+    TSM_ASSERT(n >= 2, "all-reduce needs at least two participants");
+    AllReduceEstimate est;
+    // Ring all-reduce: 2(n-1) steps, each moving S/n bytes per GPU and
+    // paying one mailbox handshake.
+    const double steps = 2.0 * double(n - 1);
+    const double bw_term =
+        steps * (double(bytes) / double(n)) / (bytes_per_sec * efficiency);
+    est.seconds = launch + steps * mailbox + bw_term;
+    est.busBandwidthBytesPerSec =
+        (steps / double(n)) * double(bytes) / est.seconds;
+    return est;
+}
+
+} // namespace
+
+AllReduceEstimate
+gpuRingAllReduce(const GpuAllReduceModel &model, Bytes bytes)
+{
+    return ringModel(model.gpus, model.linkBytesPerSec,
+                     model.launchOverheadSec, model.mailboxOverheadSec,
+                     model.bandwidthEfficiency, bytes);
+}
+
+AllReduceEstimate
+gpuRingAllReduceNormalized(const GpuAllReduceModel &model, Bytes bytes,
+                           double tsp_bytes_per_sec)
+{
+    return ringModel(model.gpus, tsp_bytes_per_sec,
+                     model.launchOverheadSec, model.mailboxOverheadSec,
+                     model.bandwidthEfficiency, bytes);
+}
+
+} // namespace tsm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cost model of a GPU-style shared-memory All-Reduce — the Fig 16
+ * comparison baseline.
+ *
+ * Paper §5.3: "A GPU or CPU system with shared-memory semantics will
+ * communicate results via shared DRAM, and requires a flag (mutex) to
+ * indicate when the data is produced ... a memory fence is required".
+ * We model an NVSwitch-connected 8-GPU ring all-reduce (the nccl-tests
+ * setup of the paper's footnote): time = latency term + bandwidth
+ * term, where the latency term carries the kernel-launch and
+ * flag/fence mailbox overheads per step that the Groq system does not
+ * pay, and the bandwidth term uses the per-GPU NVLink bandwidth.
+ */
+
+#ifndef TSM_BASELINE_SHAREDMEM_ALLREDUCE_HH
+#define TSM_BASELINE_SHAREDMEM_ALLREDUCE_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace tsm {
+
+/** 8x A100 + NVSwitch system description. */
+struct GpuAllReduceModel
+{
+    unsigned gpus = 8;
+
+    /** Per-GPU NVLink bandwidth (the paper: 300 GB/s via NVSwitch). */
+    double linkBytesPerSec = 300e9;
+
+    /**
+     * Fixed software overhead per invocation: kernel launch + stream
+     * sync (~10 us for nccl on this class of system).
+     */
+    double launchOverheadSec = 10e-6;
+
+    /**
+     * Per-step mailbox cost: producer writes data, fences, writes the
+     * flag; consumer spins on the flag. Paid 2(n-1) times in a ring.
+     */
+    double mailboxOverheadSec = 1.2e-6;
+
+    /** Fraction of link bandwidth realizable in steady state. */
+    double bandwidthEfficiency = 0.85;
+};
+
+/** Prediction for one all-reduce invocation. */
+struct AllReduceEstimate
+{
+    double seconds = 0.0;
+
+    /** nccl-tests "bus bandwidth": 2 (n-1)/n S / t. */
+    double busBandwidthBytesPerSec = 0.0;
+};
+
+/** Ring all-reduce estimate for a tensor of `bytes` on the model. */
+AllReduceEstimate gpuRingAllReduce(const GpuAllReduceModel &model,
+                                   Bytes bytes);
+
+/**
+ * The same model with the per-GPU bandwidth normalized down to the
+ * TSP's pin bandwidth — the paper's "A100 (normalized)" series, which
+ * isolates the protocol overhead from the raw pin advantage.
+ */
+AllReduceEstimate gpuRingAllReduceNormalized(const GpuAllReduceModel &model,
+                                             Bytes bytes,
+                                             double tsp_bytes_per_sec);
+
+} // namespace tsm
+
+#endif // TSM_BASELINE_SHAREDMEM_ALLREDUCE_HH

@@ -1,0 +1,5 @@
+tsm_module(baseline
+    hw_router.cc
+    gpu_matmul.cc
+    sharedmem_allreduce.cc
+)

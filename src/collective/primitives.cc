@@ -1,0 +1,59 @@
+#include "collective/primitives.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+std::vector<TensorTransfer>
+broadcastTransfers(const Topology &topo, TspId root,
+                   std::uint32_t vectors, FlowId first_flow,
+                   Cycle earliest)
+{
+    TSM_ASSERT(root < topo.numTsps(), "root out of range");
+    std::vector<TensorTransfer> out;
+    FlowId flow = first_flow;
+    for (TspId t = 0; t < topo.numTsps(); ++t) {
+        if (t == root)
+            continue;
+        TensorTransfer tr;
+        tr.flow = flow++;
+        tr.src = root;
+        tr.dst = t;
+        tr.vectors = vectors;
+        tr.earliest = earliest;
+        out.push_back(tr);
+    }
+    return out;
+}
+
+std::vector<TensorTransfer>
+gatherTransfers(const Topology &topo, TspId root, std::uint32_t vectors,
+                FlowId first_flow, Cycle earliest)
+{
+    TSM_ASSERT(root < topo.numTsps(), "root out of range");
+    std::vector<TensorTransfer> out;
+    FlowId flow = first_flow;
+    for (TspId t = 0; t < topo.numTsps(); ++t) {
+        if (t == root)
+            continue;
+        TensorTransfer tr;
+        tr.flow = flow++;
+        tr.src = t;
+        tr.dst = root;
+        tr.vectors = vectors;
+        tr.earliest = earliest;
+        out.push_back(tr);
+    }
+    return out;
+}
+
+Cycle
+collectiveCompletion(const Topology &topo,
+                     const std::vector<TensorTransfer> &transfers,
+                     SsnConfig config)
+{
+    SsnScheduler scheduler(topo, config);
+    return scheduler.schedule(transfers).makespan;
+}
+
+} // namespace tsm

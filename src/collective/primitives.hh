@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Transfer-list builders for the basic collectives the hierarchical
+ * All-Reduce composes from (reduce-scatter and all-gather live in
+ * allreduce.hh): broadcast (root to all) and gather (all to root),
+ * plus scheduler-backed completion estimates.
+ *
+ * All of these are "collections of scheduled pushes" — no barriers,
+ * no flags; ordering comes from the compile-time schedule alone.
+ */
+
+#ifndef TSM_COLLECTIVE_PRIMITIVES_HH
+#define TSM_COLLECTIVE_PRIMITIVES_HH
+
+#include <vector>
+
+#include "ssn/scheduler.hh"
+#include "ssn/transfer.hh"
+
+namespace tsm {
+
+/** Root pushes the same `vectors`-sized tensor to every other TSP. */
+std::vector<TensorTransfer> broadcastTransfers(const Topology &topo,
+                                               TspId root,
+                                               std::uint32_t vectors,
+                                               FlowId first_flow = 1,
+                                               Cycle earliest = 0);
+
+/** Every non-root TSP pushes its tensor to the root. */
+std::vector<TensorTransfer> gatherTransfers(const Topology &topo,
+                                            TspId root,
+                                            std::uint32_t vectors,
+                                            FlowId first_flow = 1,
+                                            Cycle earliest = 0);
+
+/** Schedule a transfer list and return its makespan in cycles. */
+Cycle collectiveCompletion(const Topology &topo,
+                           const std::vector<TensorTransfer> &transfers,
+                           SsnConfig config = {});
+
+} // namespace tsm
+
+#endif // TSM_COLLECTIVE_PRIMITIVES_HH

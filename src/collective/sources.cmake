@@ -1,0 +1,4 @@
+tsm_module(collective
+    allreduce.cc
+    primitives.cc
+)

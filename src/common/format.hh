@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal std::format-style string formatting.
+ *
+ * The toolchain available here (GCC 12) does not ship <format>, so this
+ * header provides the small subset the simulator uses:
+ *
+ *   {}            default formatting of the next argument
+ *   {:.Nf}        fixed-point with N digits
+ *   {:Wd}/{:W}    minimum width W, right-aligned (numbers) by default
+ *   {:<W} {:>W}   explicit alignment
+ *   {:{}} {:.{}}  dynamic width/precision consumed from the arg list
+ *   {{ and }}     literal braces
+ *
+ * Formatting is runtime-checked: a malformed string or arity mismatch
+ * throws std::runtime_error (callers are internal; a throw here is a
+ * programming error surfaced loudly in tests).
+ */
+
+#ifndef TSM_COMMON_FORMAT_HH
+#define TSM_COMMON_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace tsm {
+
+namespace detail {
+
+/** A type-erased format argument. */
+struct FormatArg
+{
+    std::variant<std::int64_t, std::uint64_t, double, std::string, char,
+                 bool>
+        value;
+
+    template <typename T>
+    static FormatArg
+    make(T &&v)
+    {
+        using U = std::decay_t<T>;
+        FormatArg a;
+        if constexpr (std::is_same_v<U, bool>) {
+            a.value = v;
+        } else if constexpr (std::is_same_v<U, char>) {
+            a.value = v;
+        } else if constexpr (std::is_enum_v<U>) {
+            a.value = std::int64_t(v);
+        } else if constexpr (std::is_integral_v<U> && std::is_signed_v<U>) {
+            a.value = std::int64_t(v);
+        } else if constexpr (std::is_integral_v<U>) {
+            a.value = std::uint64_t(v);
+        } else if constexpr (std::is_floating_point_v<U>) {
+            a.value = double(v);
+        } else if constexpr (std::is_convertible_v<U, std::string_view>) {
+            a.value = std::string(std::string_view(v));
+        } else {
+            static_assert(std::is_convertible_v<U, std::string_view>,
+                          "unformattable argument type");
+        }
+        return a;
+    }
+};
+
+/** Core formatter over type-erased arguments. */
+std::string vformat(std::string_view fmt, const std::vector<FormatArg> &args);
+
+} // namespace detail
+
+/** Format `fmt` with the given arguments (see file comment for subset). */
+template <typename... Args>
+std::string
+format(std::string_view fmt, Args &&...args)
+{
+    std::vector<detail::FormatArg> v;
+    v.reserve(sizeof...(Args));
+    (v.push_back(detail::FormatArg::make(std::forward<Args>(args))), ...);
+    return detail::vformat(fmt, v);
+}
+
+} // namespace tsm
+
+#endif // TSM_COMMON_FORMAT_HH

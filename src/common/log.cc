@@ -1,0 +1,46 @@
+#include "common/log.hh"
+
+namespace tsm {
+namespace detail {
+
+LogLevel &
+logThreshold()
+{
+    static LogLevel threshold = LogLevel::Info;
+    return threshold;
+}
+
+void
+logEmit(LogLevel level, std::string_view msg, const std::source_location &loc)
+{
+    const char *prefix = "info";
+    switch (level) {
+      case LogLevel::Debug: prefix = "debug"; break;
+      case LogLevel::Info:  prefix = "info";  break;
+      case LogLevel::Warn:  prefix = "warn";  break;
+      case LogLevel::Fatal: prefix = "fatal"; break;
+      case LogLevel::Panic: prefix = "panic"; break;
+    }
+    if (level >= LogLevel::Fatal) {
+        std::cerr << prefix << ": " << msg << " [" << loc.file_name() << ':'
+                  << loc.line() << "]\n";
+    } else {
+        std::cerr << prefix << ": " << msg << '\n';
+    }
+}
+
+} // namespace detail
+
+void
+setLogLevel(LogLevel level)
+{
+    detail::logThreshold() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return detail::logThreshold();
+}
+
+} // namespace tsm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Status and error reporting for the simulator, following the gem5
+ * convention: inform() and warn() report conditions without stopping the
+ * simulation, fatal() aborts because of a user/configuration error, and
+ * panic() aborts because of an internal simulator bug (e.g. a violated
+ * determinism invariant).
+ */
+
+#ifndef TSM_COMMON_LOG_HH
+#define TSM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <source_location>
+#include <string>
+#include <string_view>
+
+#include "common/format.hh"
+
+namespace tsm {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Global verbosity threshold; messages below it are suppressed. */
+LogLevel &logThreshold();
+
+/** Emit one formatted message to stderr with a severity prefix. */
+void logEmit(LogLevel level, std::string_view msg,
+             const std::source_location &loc);
+
+} // namespace detail
+
+/** Set the global verbosity threshold (messages below are dropped). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/**
+ * Report an informative message the user should see but not worry about.
+ */
+template <typename... Args>
+void
+inform(std::string_view fmt, Args &&...args)
+{
+    if (detail::logThreshold() <= LogLevel::Info) {
+        detail::logEmit(LogLevel::Info,
+                        tsm::format(fmt, std::forward<Args>(args)...),
+                        std::source_location::current());
+    }
+}
+
+/**
+ * Report a condition that might indicate a problem but lets the
+ * simulation continue.
+ */
+template <typename... Args>
+void
+warn(std::string_view fmt, Args &&...args)
+{
+    if (detail::logThreshold() <= LogLevel::Warn) {
+        detail::logEmit(LogLevel::Warn,
+                        tsm::format(fmt, std::forward<Args>(args)...),
+                        std::source_location::current());
+    }
+}
+
+/**
+ * Abort because the simulation cannot continue due to a user error
+ * (bad configuration, invalid arguments). Exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(std::string_view fmt, Args &&...args)
+{
+    detail::logEmit(LogLevel::Fatal,
+                    tsm::format(fmt, std::forward<Args>(args)...),
+                    std::source_location::current());
+    std::exit(1);
+}
+
+/**
+ * Abort because something happened that should never happen regardless
+ * of user input — an internal bug, such as a violated scheduling
+ * invariant. Calls abort() so a core dump / debugger can inspect state.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(std::string_view fmt, Args &&...args)
+{
+    detail::logEmit(LogLevel::Panic,
+                    tsm::format(fmt, std::forward<Args>(args)...),
+                    std::source_location::current());
+    std::abort();
+}
+
+/** panic() unless the given invariant condition holds. */
+#define TSM_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tsm::panic("assertion failed: " #cond " — " __VA_ARGS__);     \
+        }                                                                   \
+    } while (0)
+
+} // namespace tsm
+
+#endif // TSM_COMMON_LOG_HH

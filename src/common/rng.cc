@@ -1,0 +1,124 @@
+#include "common/rng.hh"
+
+namespace tsm {
+
+namespace {
+
+/** splitmix64 step, used for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+    // Avoid the (astronomically unlikely) all-zero state.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0)
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return double(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    if (n == 0)
+        return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (~std::uint64_t(0) - n + 1) % n;
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    return lo + std::int64_t(below(std::uint64_t(hi - lo + 1)));
+}
+
+double
+Rng::gaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    // Box–Muller transform.
+    double u1 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    cachedGaussian_ = mag * std::sin(two_pi * u2);
+    hasCachedGaussian_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    std::uint64_t mix = seed_;
+    const std::uint64_t a = splitmix64(mix);
+    mix ^= stream_id * 0xd2b74407b1ce6e93ULL;
+    const std::uint64_t b = splitmix64(mix);
+    return Rng(a ^ rotl(b, 23) ^ stream_id);
+}
+
+} // namespace tsm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * The simulator must be reproducible: two runs with the same seed produce
+ * byte-identical results (a core invariant of the paper's deterministic
+ * system, and of any credible simulation). We therefore use a fixed,
+ * self-contained xoshiro256** implementation rather than std::mt19937
+ * so results do not depend on the standard library vendor.
+ */
+
+#ifndef TSM_COMMON_RNG_HH
+#define TSM_COMMON_RNG_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace tsm {
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna), seeded via splitmix64.
+ * Deterministic across platforms and standard libraries.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n) for n > 0 (unbiased via rejection). */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in the closed range [lo, hi]. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal variate (Box–Muller, cached pair). */
+    double gaussian();
+
+    /** Normal variate with given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Fork a child generator whose stream is a deterministic function of
+     * this generator's seed and the given stream id — used to give each
+     * simulated component an independent but reproducible stream.
+     */
+    Rng fork(std::uint64_t stream_id) const;
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    std::uint64_t seed_;
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace tsm
+
+#endif // TSM_COMMON_RNG_HH

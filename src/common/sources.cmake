@@ -1,0 +1,7 @@
+tsm_module(common
+    format.cc
+    log.cc
+    rng.cc
+    stats.cc
+    table.cc
+)

@@ -1,0 +1,177 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include "common/format.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+void
+Accumulator::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / double(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const std::uint64_t total = count_ + other.count_;
+    m2_ += other.m2_ +
+           delta * delta * double(count_) * double(other.count_) /
+               double(total);
+    mean_ = (mean_ * double(count_) + other.mean_ * double(other.count_)) /
+            double(total);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ = total;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::min() const
+{
+    TSM_ASSERT(count_ > 0, "min of empty accumulator");
+    return min_;
+}
+
+double
+Accumulator::max() const
+{
+    TSM_ASSERT(count_ > 0, "max of empty accumulator");
+    return max_;
+}
+
+double
+Accumulator::mean() const
+{
+    TSM_ASSERT(count_ > 0, "mean of empty accumulator");
+    return mean_;
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / double(count_);
+}
+
+double
+Accumulator::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / double(count_ - 1));
+}
+
+Histogram::Histogram(double lo, double hi, unsigned num_bins)
+    : lo_(lo), width_((hi - lo) / double(num_bins)), bins_(num_bins, 0)
+{
+    TSM_ASSERT(num_bins > 0 && hi > lo, "degenerate histogram range");
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    auto idx = std::int64_t(std::floor((x - lo_) / width_));
+    if (idx < 0) {
+        ++underflow_;
+        idx = 0;
+    } else if (idx >= std::int64_t(bins_.size())) {
+        ++overflow_;
+        idx = std::int64_t(bins_.size()) - 1;
+    }
+    ++bins_[std::size_t(idx)];
+}
+
+double
+Histogram::binLo(unsigned i) const
+{
+    return lo_ + double(i) * width_;
+}
+
+double
+Histogram::cumulativeFraction(unsigned i) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (unsigned b = 0; b <= i && b < bins_.size(); ++b)
+        acc += bins_[b];
+    return double(acc) / double(count_);
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    TSM_ASSERT(count_ > 0, "percentile of empty histogram");
+    std::uint64_t acc = 0;
+    for (unsigned b = 0; b < bins_.size(); ++b) {
+        acc += bins_[b];
+        if (double(acc) / double(count_) >= fraction)
+            return binLo(b) + width_;
+    }
+    return binLo(numBins() - 1) + width_;
+}
+
+std::string
+Histogram::ascii(unsigned max_width, bool skip_empty) const
+{
+    std::uint64_t peak = 0;
+    for (auto c : bins_)
+        peak = std::max(peak, c);
+    std::string out;
+    for (unsigned b = 0; b < bins_.size(); ++b) {
+        if (skip_empty && bins_[b] == 0)
+            continue;
+        const auto bar_len =
+            peak == 0 ? 0u
+                      : unsigned(double(bins_[b]) / double(peak) * max_width);
+        out += format("{:>12.1f} |{:<{}} {}\n", binLo(b),
+                           std::string(bar_len, '#'), max_width, bins_[b]);
+    }
+    return out;
+}
+
+double
+SampleSet::percentile(double q) const
+{
+    TSM_ASSERT(!samples_.empty(), "percentile of empty sample set");
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank = q * double(samples_.size() - 1);
+    const auto lo = std::size_t(std::floor(rank));
+    const auto hi = std::size_t(std::ceil(rank));
+    const double frac = rank - double(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+} // namespace tsm

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Statistics collection: running accumulators (min/mean/max/stddev),
+ * fixed-bin histograms, and exact percentile computation. Used to
+ * reproduce the paper's Table 2 (HAC latency characterization) and
+ * Fig 17 (BERT latency histogram), among others.
+ */
+
+#ifndef TSM_COMMON_STATS_HH
+#define TSM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsm {
+
+/**
+ * Running scalar statistics with Welford's numerically stable online
+ * variance algorithm.
+ */
+class Accumulator
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Merge another accumulator's samples into this one. */
+    void merge(const Accumulator &other);
+
+    /** Clear all recorded samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const { return sum_; }
+
+    /** Population variance of the recorded samples. */
+    double variance() const;
+
+    /** Sample (n-1) standard deviation, matching the paper's Table 2. */
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Histogram over fixed-width bins covering [lo, hi); samples outside
+ * the range are clamped into the first/last bin and counted as
+ * underflow/overflow.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the first bin.
+     * @param hi Exclusive upper bound of the last bin.
+     * @param num_bins Number of equal-width bins (must be > 0).
+     */
+    Histogram(double lo, double hi, unsigned num_bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    unsigned numBins() const { return unsigned(bins_.size()); }
+    double binWidth() const { return width_; }
+
+    /** Inclusive lower edge of bin i. */
+    double binLo(unsigned i) const;
+
+    /** Count in bin i (clamped samples included in edge bins). */
+    std::uint64_t binCount(unsigned i) const { return bins_[i]; }
+
+    /** Fraction of all samples at or below the upper edge of bin i. */
+    double cumulativeFraction(unsigned i) const;
+
+    /**
+     * Smallest value v such that at least `fraction` of samples fall in
+     * bins whose upper edge is <= v (bin-resolution percentile).
+     */
+    double percentile(double fraction) const;
+
+    /** Render as a fixed-width ASCII bar chart, one line per bin. */
+    std::string ascii(unsigned max_width = 60, bool skip_empty = true) const;
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/**
+ * Exact percentile over a retained sample set. Memory grows with the
+ * sample count; use for bounded experiment sizes.
+ */
+class SampleSet
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+    std::size_t count() const { return samples_.size(); }
+
+    /** Exact q-quantile (q in [0,1]) by nearest-rank; sorts lazily. */
+    double percentile(double q) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+} // namespace tsm
+
+#endif // TSM_COMMON_STATS_HH

@@ -1,0 +1,91 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include "common/format.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    TSM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    TSM_ASSERT(cells.size() == headers_.size(),
+               "row width does not match header count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return format("{:.{}f}", v, precision);
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    return format("{}", v);
+}
+
+std::string
+Table::num(std::int64_t v)
+{
+    return format("{}", v);
+}
+
+std::string
+Table::ascii() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += format("{:>{}}", row[c], widths[c]);
+            if (c + 1 < row.size())
+                line += "  ";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-') + '\n';
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto join = [](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            if (c + 1 < row.size())
+                line += ',';
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out = join(headers_);
+    for (const auto &row : rows_)
+        out += join(row);
+    return out;
+}
+
+} // namespace tsm

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Column-aligned ASCII table and CSV emitters used by the benchmark
+ * harnesses to print the paper's tables and figure data series.
+ */
+
+#ifndef TSM_COMMON_TABLE_HH
+#define TSM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tsm {
+
+/**
+ * A simple table: set column headers once, append rows of stringified
+ * cells, then render as aligned ASCII or CSV.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format an integer. */
+    static std::string num(std::uint64_t v);
+    static std::string num(std::int64_t v);
+    static std::string num(int v) { return num(std::int64_t(v)); }
+    static std::string num(unsigned v) { return num(std::uint64_t(v)); }
+
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render with aligned columns and a header separator line. */
+    std::string ascii() const;
+
+    /** Render as comma-separated values (no quoting; cells must be clean). */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace tsm
+
+#endif // TSM_COMMON_TABLE_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fundamental units and physical constants of the simulated system.
+ *
+ * All simulated time is kept in picoseconds (`Tick`) so that chips with
+ * independent, slightly-drifting clocks can coexist on one global
+ * timeline — the situation the paper's HAC/SAC machinery exists to
+ * manage. Core-clock cycles are a per-chip derived unit (see
+ * sim/clock.hh).
+ */
+
+#ifndef TSM_COMMON_UNITS_HH
+#define TSM_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace tsm {
+
+/** Global simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** An invalid/unset tick value. */
+inline constexpr Tick kTickInvalid = ~Tick(0);
+
+/** Picoseconds per common time units. */
+inline constexpr Tick kPsPerNs = 1'000;
+inline constexpr Tick kPsPerUs = 1'000'000;
+inline constexpr Tick kPsPerMs = 1'000'000'000;
+inline constexpr Tick kPsPerSec = 1'000'000'000'000ULL;
+
+/** Cycle count within a single chip's clock domain. */
+using Cycle = std::uint64_t;
+
+/** Bytes. */
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/**
+ * Nominal TSP core frequency (paper §5.2: "each TSP operating at
+ * 900MHz").
+ */
+inline constexpr double kCoreFreqHz = 900e6;
+
+/** Nominal core clock period in picoseconds (1111.1ps at 900 MHz). */
+inline constexpr double kCorePeriodPs = 1e12 / kCoreFreqHz;
+
+/**
+ * Geometry of a TSP's on-chip SRAM, addressable as the rank-5 tensor
+ * [Device, Hemisphere, Slice, Bank, Offset] (paper Fig 3). One address
+ * holds one 320-byte vector.
+ */
+inline constexpr unsigned kHemispheres = 2;
+inline constexpr unsigned kSlicesPerHemisphere = 44;
+inline constexpr unsigned kBanksPerSlice = 2;
+inline constexpr unsigned kWordsPerBank = 4096;
+
+/** SIMD width: one vector spans 320 byte-lanes (20 tiles x 16 lanes). */
+inline constexpr unsigned kVectorBytes = 320;
+
+/** Vector elements for fp16 operands (2 bytes/element). */
+inline constexpr unsigned kVectorLanesFp16 = 160;
+
+/** Vector elements for int8 operands. */
+inline constexpr unsigned kVectorLanesInt8 = 320;
+
+/** Local SRAM per TSP: 2 x 44 x 2 x 4096 x 320 B = 220 MiB. */
+inline constexpr Bytes kLocalMemBytes =
+    Bytes(kHemispheres) * kSlicesPerHemisphere * kBanksPerSlice *
+    kWordsPerBank * kVectorBytes;
+
+static_assert(kLocalMemBytes == 220 * kMiB,
+              "paper: each TSP contributes 220 MiBytes of global memory");
+
+/** C2C link: 4 lanes x 25 Gbps = 100 Gbps per direction (paper §2.3). */
+inline constexpr unsigned kC2cLanesPerLink = 4;
+inline constexpr double kC2cLaneGbps = 25.0;
+inline constexpr double kC2cLinkGbps = kC2cLanesPerLink * kC2cLaneGbps;
+
+/** C2C link payload bandwidth in bytes/second. */
+inline constexpr double kC2cLinkBytesPerSec = kC2cLinkGbps * 1e9 / 8.0;
+
+/**
+ * Wire format of one vector: 320 B payload + 8 B framing for a 97.5%
+ * encoding efficiency (paper Fig 11: 320/328 bytes).
+ */
+inline constexpr Bytes kVectorWireBytes = 328;
+
+/** Serialization time of one wire vector on a 100 Gbps link. */
+inline constexpr double kVectorSerializationPs =
+    double(kVectorWireBytes) * 8.0 / (kC2cLinkGbps * 1e9) * 1e12; // 26240 ps
+
+/** Ports per TSP: 7 "local" + 4 "global" C2C links (paper §2.2). */
+inline constexpr unsigned kLocalPortsPerTsp = 7;
+inline constexpr unsigned kGlobalPortsPerTsp = 4;
+inline constexpr unsigned kPortsPerTsp =
+    kLocalPortsPerTsp + kGlobalPortsPerTsp;
+
+/** TSPs per node (4U chassis). */
+inline constexpr unsigned kTspsPerNode = 8;
+
+/** Nodes per rack; one of the nine is the N+1 hot spare (paper §4.5). */
+inline constexpr unsigned kNodesPerRack = 9;
+
+/** Max nodes in a single-level (node-as-group) Dragonfly: 33 (264 TSPs). */
+inline constexpr unsigned kMaxNodesSingleLevel = 33;
+
+/** Max racks in the two-level (rack-as-group) Dragonfly: 145. */
+inline constexpr unsigned kMaxRacks = 145;
+
+/**
+ * HAC epoch: the hardware aligned counter is an 8-bit counter with 4
+ * values reserved for control codes, so it overflows every 252 core
+ * cycles (paper §3.2 footnote).
+ */
+inline constexpr unsigned kHacPeriodCycles = 252;
+
+/** PCIe Gen4 x16 host link payload bandwidth (~25.6 GB/s usable). */
+inline constexpr double kPcieGen4x16BytesPerSec = 25.6e9;
+
+/** Convert a byte count to the number of 320 B vectors that carry it. */
+constexpr std::uint64_t
+bytesToVectors(Bytes bytes)
+{
+    return (bytes + kVectorBytes - 1) / kVectorBytes;
+}
+
+/** Convert picoseconds to (fractional) nanoseconds. */
+constexpr double
+psToNs(double ps)
+{
+    return ps / double(kPsPerNs);
+}
+
+/** Convert picoseconds to (fractional) microseconds. */
+constexpr double
+psToUs(double ps)
+{
+    return ps / double(kPsPerUs);
+}
+
+} // namespace tsm
+
+#endif // TSM_COMMON_UNITS_HH

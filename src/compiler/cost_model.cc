@@ -1,0 +1,64 @@
+#include "compiler/cost_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+Cycle
+TspCostModel::nodeCycles(const GraphNode &node) const
+{
+    switch (node.kind) {
+      case OpKind::MatMul: {
+        const auto est = tspGemmUtilization(
+            mxm, node.output.dims.at(0), node.contractionK,
+            node.output.dims.at(1));
+        return est.cycles + opOverheadCycles;
+      }
+      case OpKind::Elementwise:
+      case OpKind::Softmax:
+      case OpKind::LayerNorm: {
+        const double mult = node.kind == OpKind::Elementwise ? 1.0
+                            : node.kind == OpKind::Softmax   ? 5.0
+                                                             : 8.0;
+        return Cycle(std::ceil(mult * double(node.output.elements()) /
+                               vxmLanesPerCycle)) +
+               opOverheadCycles;
+      }
+      case OpKind::Transpose:
+        return Cycle(std::ceil(double(node.output.bytes()) /
+                               sxmBytesPerCycle)) +
+               opOverheadCycles;
+      case OpKind::Reduce: {
+        const double adds = double(node.output.elements()) *
+                            double(node.inputs.size() > 1
+                                       ? node.inputs.size() - 1
+                                       : 0);
+        return Cycle(std::ceil(adds / vxmLanesPerCycle)) +
+               opOverheadCycles;
+      }
+      case OpKind::Input:
+      case OpKind::Weights:
+      case OpKind::Output:
+        return 0; // host-side; costed via pcieSeconds
+    }
+    return 0;
+}
+
+Cycle
+TspCostModel::graphCycles(const Graph &graph) const
+{
+    Cycle total = 0;
+    for (const auto &n : graph.nodes())
+        total += nodeCycles(n);
+    return total;
+}
+
+double
+TspCostModel::pcieSeconds(Bytes bytes) const
+{
+    return pcieInvocationSec + double(bytes) / pcieBytesPerSec;
+}
+
+} // namespace tsm

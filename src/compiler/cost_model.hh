@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The compiler's exact cycle-count cost model for the TSP.
+ *
+ * Paper §4.1: "we compute the precise execution time of each pipe
+ * stage's sub-task ... we know the exact execution time of each stage
+ * (to the clock cycle) and therefore do not require dynamic profiling".
+ * That property is what makes the parallel decomposition "precise and
+ * explicitly under control of the compiler", and what lets Fig 17
+ * compare the compiler's latency estimate against measurement.
+ */
+
+#ifndef TSM_COMPILER_COST_MODEL_HH
+#define TSM_COMPILER_COST_MODEL_HH
+
+#include "baseline/gpu_matmul.hh"
+#include "compiler/graph.hh"
+
+namespace tsm {
+
+/** TSP per-op timing parameters. */
+struct TspCostModel
+{
+    TspMatmulModel mxm;
+
+    /** Vector-unit throughput: lanes processed per cycle. */
+    double vxmLanesPerCycle = 16 * 320;
+
+    /** SXM (on-chip data movement) bytes per cycle. */
+    double sxmBytesPerCycle = 320 * 2;
+
+    /** Fixed per-op issue overhead in cycles. */
+    Cycle opOverheadCycles = 16;
+
+    /** Host link: PCIe Gen4 x16 payload bandwidth. */
+    double pcieBytesPerSec = kPcieGen4x16BytesPerSec;
+
+    /** Fixed host-invocation overhead per transfer (driver + DMA). */
+    double pcieInvocationSec = 4e-6;
+
+    /** Cycles to execute one graph node on a single TSP. */
+    Cycle nodeCycles(const GraphNode &node) const;
+
+    /** Cycles for an entire (single-device) graph, executed serially. */
+    Cycle graphCycles(const Graph &graph) const;
+
+    /** Seconds to move `bytes` across PCIe (one invocation). */
+    double pcieSeconds(Bytes bytes) const;
+
+    /** Convert cycles to seconds at the nominal core clock. */
+    static double
+    cyclesToSeconds(Cycle cycles)
+    {
+        return double(cycles) / kCoreFreqHz;
+    }
+};
+
+} // namespace tsm
+
+#endif // TSM_COMPILER_COST_MODEL_HH

@@ -1,0 +1,241 @@
+#include "compiler/graph.hh"
+
+#include <algorithm>
+
+#include "common/format.hh"
+#include "common/log.hh"
+
+namespace tsm {
+
+std::uint64_t
+TensorShape::elements() const
+{
+    std::uint64_t total = 1;
+    for (auto d : dims)
+        total *= d;
+    return total;
+}
+
+std::string
+TensorShape::str() const
+{
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        s += format("{}", dims[i]);
+        if (i + 1 < dims.size())
+            s += "x";
+    }
+    s += dtype == DType::Fp16 ? "]f16" : "]i8";
+    return s;
+}
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Input: return "input";
+      case OpKind::Weights: return "weights";
+      case OpKind::MatMul: return "matmul";
+      case OpKind::Elementwise: return "eltwise";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::LayerNorm: return "layernorm";
+      case OpKind::Transpose: return "transpose";
+      case OpKind::Reduce: return "reduce";
+      case OpKind::Output: return "output";
+    }
+    return "?";
+}
+
+double
+GraphNode::flops() const
+{
+    switch (kind) {
+      case OpKind::MatMul:
+        // 2*M*K*N: output elements each need K MACs.
+        return 2.0 * double(output.elements()) * double(contractionK);
+      case OpKind::Elementwise:
+        return double(output.elements());
+      case OpKind::Softmax:
+        return 5.0 * double(output.elements());
+      case OpKind::LayerNorm:
+        return 8.0 * double(output.elements());
+      case OpKind::Reduce:
+        return double(output.elements()) *
+               double(inputs.size() > 1 ? inputs.size() - 1 : 0);
+      case OpKind::Input:
+      case OpKind::Weights:
+      case OpKind::Transpose:
+      case OpKind::Output:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+NodeId
+Graph::add(GraphNode node)
+{
+    node.id = NodeId(nodes_.size());
+    for (NodeId in : node.inputs)
+        TSM_ASSERT(in < node.id, "graph edges must point backwards");
+    nodes_.push_back(std::move(node));
+    return nodes_.back().id;
+}
+
+NodeId
+Graph::addInput(TensorShape shape, std::string label)
+{
+    GraphNode n;
+    n.kind = OpKind::Input;
+    n.output = std::move(shape);
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+NodeId
+Graph::addWeights(TensorShape shape, std::string label)
+{
+    GraphNode n;
+    n.kind = OpKind::Weights;
+    n.output = std::move(shape);
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+NodeId
+Graph::addMatMul(NodeId act, NodeId weights, std::uint64_t m,
+                 std::uint64_t k, std::uint64_t n, DType dtype,
+                 std::string label)
+{
+    GraphNode node;
+    node.kind = OpKind::MatMul;
+    node.inputs = {act, weights};
+    node.output.dims = {m, n};
+    node.output.dtype = dtype;
+    node.contractionK = k;
+    node.label = std::move(label);
+    return add(std::move(node));
+}
+
+NodeId
+Graph::addElementwise(std::vector<NodeId> inputs, TensorShape shape,
+                      std::string label)
+{
+    GraphNode n;
+    n.kind = OpKind::Elementwise;
+    n.inputs = std::move(inputs);
+    n.output = std::move(shape);
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+NodeId
+Graph::addSoftmax(NodeId input, std::string label)
+{
+    GraphNode n;
+    n.kind = OpKind::Softmax;
+    n.inputs = {input};
+    n.output = nodes_[input].output;
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+NodeId
+Graph::addLayerNorm(NodeId input, std::string label)
+{
+    GraphNode n;
+    n.kind = OpKind::LayerNorm;
+    n.inputs = {input};
+    n.output = nodes_[input].output;
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+NodeId
+Graph::addTranspose(NodeId input, TensorShape shape, std::string label)
+{
+    GraphNode n;
+    n.kind = OpKind::Transpose;
+    n.inputs = {input};
+    n.output = std::move(shape);
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+NodeId
+Graph::addReduce(std::vector<NodeId> partials, std::string label)
+{
+    TSM_ASSERT(!partials.empty(), "reduce of nothing");
+    GraphNode n;
+    n.kind = OpKind::Reduce;
+    n.output = nodes_[partials[0]].output;
+    n.inputs = std::move(partials);
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+NodeId
+Graph::addOutput(NodeId input, std::string label)
+{
+    GraphNode n;
+    n.kind = OpKind::Output;
+    n.inputs = {input};
+    n.output = nodes_[input].output;
+    n.label = std::move(label);
+    return add(std::move(n));
+}
+
+std::vector<NodeId>
+Graph::topoOrder() const
+{
+    // Construction enforces backward edges, so ids are already
+    // topologically ordered.
+    std::vector<NodeId> order(nodes_.size());
+    for (NodeId i = 0; i < nodes_.size(); ++i)
+        order[i] = i;
+    return order;
+}
+
+std::vector<NodeId>
+Graph::consumers(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_)
+        if (std::find(n.inputs.begin(), n.inputs.end(), id) !=
+            n.inputs.end())
+            out.push_back(n.id);
+    return out;
+}
+
+double
+Graph::totalFlops() const
+{
+    double total = 0.0;
+    for (const auto &n : nodes_)
+        total += n.flops();
+    return total;
+}
+
+Bytes
+Graph::weightBytes() const
+{
+    Bytes total = 0;
+    for (const auto &n : nodes_)
+        if (n.kind == OpKind::Weights)
+            total += n.output.bytes();
+    return total;
+}
+
+void
+Graph::validate() const
+{
+    for (const auto &n : nodes_) {
+        for (NodeId in : n.inputs)
+            TSM_ASSERT(in < n.id, "forward edge in DAG");
+        if (n.kind == OpKind::MatMul) {
+            TSM_ASSERT(n.inputs.size() == 2, "matmul needs 2 inputs");
+            TSM_ASSERT(n.contractionK > 0, "matmul needs K");
+        }
+    }
+}
+
+} // namespace tsm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The compiler's tensor-op graph IR.
+ *
+ * Paper §4.1: "SSN takes advantage of a ML model's static computation
+ * graph and a priori knowledge of the traffic pattern". This IR is
+ * that static graph: a DAG of tensor operations with shapes known at
+ * compile time, from which the partitioner derives per-device
+ * sub-tasks and the induced inter-device traffic pattern.
+ */
+
+#ifndef TSM_COMPILER_GRAPH_HH
+#define TSM_COMPILER_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tsm {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNodeInvalid = ~NodeId(0);
+
+/** Tensor element types the hardware computes on. */
+enum class DType : std::uint8_t { Fp16, Int8 };
+
+/** Bytes per element. */
+constexpr Bytes
+dtypeBytes(DType t)
+{
+    return t == DType::Fp16 ? 2 : 1;
+}
+
+/** A dense tensor shape (row-major logical dims). */
+struct TensorShape
+{
+    std::vector<std::uint64_t> dims;
+    DType dtype = DType::Fp16;
+
+    std::uint64_t elements() const;
+    Bytes bytes() const { return elements() * dtypeBytes(dtype); }
+
+    /** Number of 320-byte vectors occupied. */
+    std::uint64_t vectors() const { return bytesToVectors(bytes()); }
+
+    std::string str() const;
+};
+
+/** Operation kinds. */
+enum class OpKind : std::uint8_t
+{
+    Input,       ///< graph input (host -> device over PCIe)
+    Weights,     ///< resident parameters (preloaded to SRAM)
+    MatMul,      ///< C[MxN] = A[MxK] . B[KxN]
+    Elementwise, ///< add/mul/gelu/...: flops ~ elements
+    Softmax,     ///< row softmax: ~5 flops per element
+    LayerNorm,   ///< ~8 flops per element
+    Transpose,   ///< data movement only
+    Reduce,      ///< sum of partials: flops ~ elements * (fan_in - 1)
+    Output,      ///< graph output (device -> host over PCIe)
+};
+
+const char *opKindName(OpKind k);
+
+/** One node of the computation graph. */
+struct GraphNode
+{
+    NodeId id = kNodeInvalid;
+    OpKind kind = OpKind::Input;
+    std::string label;
+    std::vector<NodeId> inputs;
+    TensorShape output;
+
+    /** MatMul reduction depth (K); unused otherwise. */
+    std::uint64_t contractionK = 0;
+
+    /** Floating-point operations this node performs. */
+    double flops() const;
+};
+
+/** The static computation graph. */
+class Graph
+{
+  public:
+    NodeId addInput(TensorShape shape, std::string label = "input");
+    NodeId addWeights(TensorShape shape, std::string label = "weights");
+
+    /** C[m x n] = A . B with A's id `act`, B's id `weights`. */
+    NodeId addMatMul(NodeId act, NodeId weights, std::uint64_t m,
+                     std::uint64_t k, std::uint64_t n,
+                     DType dtype = DType::Fp16,
+                     std::string label = "matmul");
+
+    NodeId addElementwise(std::vector<NodeId> inputs, TensorShape shape,
+                          std::string label = "eltwise");
+    NodeId addSoftmax(NodeId input, std::string label = "softmax");
+    NodeId addLayerNorm(NodeId input, std::string label = "layernorm");
+    NodeId addTranspose(NodeId input, TensorShape shape,
+                        std::string label = "transpose");
+    NodeId addReduce(std::vector<NodeId> partials,
+                     std::string label = "reduce");
+    NodeId addOutput(NodeId input, std::string label = "output");
+
+    const GraphNode &node(NodeId id) const { return nodes_[id]; }
+    std::size_t size() const { return nodes_.size(); }
+    const std::vector<GraphNode> &nodes() const { return nodes_; }
+
+    /** Topological order (inputs first); the insert order is one. */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Nodes consuming `id`. */
+    std::vector<NodeId> consumers(NodeId id) const;
+
+    /** Total flops over all nodes. */
+    double totalFlops() const;
+
+    /** Total resident parameter bytes (Weights nodes). */
+    Bytes weightBytes() const;
+
+    /** Panic if any edge is malformed (use in tests). */
+    void validate() const;
+
+  private:
+    NodeId add(GraphNode node);
+
+    std::vector<GraphNode> nodes_;
+};
+
+} // namespace tsm
+
+#endif // TSM_COMPILER_GRAPH_HH

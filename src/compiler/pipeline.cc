@@ -1,0 +1,158 @@
+#include "compiler/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+Cycle
+PipelineStage::stageCycles(BalanceMode mode) const
+{
+    if (mode == BalanceMode::FlopsOnly) {
+        // Naive schedule: on-chip movement and C2C both serialize
+        // after compute.
+        return computeCycles + movementCycles + commCycles;
+    }
+    // Optimized schedule: movement and communication overlap compute.
+    return std::max(computeCycles, commCycles);
+}
+
+Cycle
+PipelinePlan::bottleneckCycles() const
+{
+    Cycle worst = 0;
+    for (const auto &s : stages)
+        worst = std::max(worst, s.stageCycles(mode));
+    return worst;
+}
+
+Cycle
+PipelinePlan::latencyCycles() const
+{
+    Cycle total = 0;
+    for (const auto &s : stages)
+        total += s.stageCycles(mode);
+    return total;
+}
+
+double
+PipelinePlan::throughputPerSec() const
+{
+    const Cycle bn = bottleneckCycles();
+    TSM_ASSERT(bn > 0, "empty pipeline");
+    return kCoreFreqHz / double(bn);
+}
+
+bool
+PipelinePlan::fits(Bytes scratch_reserve) const
+{
+    TSM_ASSERT(scratch_reserve < kLocalMemBytes,
+               "scratch reserve exceeds device memory");
+    const Bytes budget = kLocalMemBytes - scratch_reserve;
+    for (const auto &s : stages)
+        if (s.weightBytes > budget)
+            return false;
+    return true;
+}
+
+std::vector<TensorTransfer>
+PipelinePlan::transfers(FlowId first_flow) const
+{
+    std::vector<TensorTransfer> out;
+    Cycle ready = 0;
+    for (std::size_t s = 0; s + 1 < stages.size(); ++s) {
+        // Boundary activations: sized from the comm cycles (inverse of
+        // the planner's conversion, conservative) — callers that need
+        // byte-exact transfers build them from the block list instead.
+        TensorTransfer t;
+        t.flow = first_flow + FlowId(s);
+        t.src = TspId(s);
+        t.dst = TspId(s + 1);
+        t.vectors = std::max<std::uint32_t>(
+            1, std::uint32_t(stages[s].commCycles / 24));
+        ready += stages[s].stageCycles(mode);
+        t.earliest = ready;
+        out.push_back(t);
+    }
+    return out;
+}
+
+PipelinePlan
+planPipeline(const std::vector<BlockCost> &blocks, unsigned devices,
+             BalanceMode mode, double comm_cycles_per_vector)
+{
+    TSM_ASSERT(!blocks.empty(), "no blocks to partition");
+    TSM_ASSERT(devices >= 1, "need at least one device");
+    const unsigned nb = unsigned(blocks.size());
+    const unsigned nd = std::min(devices, nb);
+
+    // Cost of a stage [i, j): compute always; the boundary comm after
+    // block j-1 (if not the last block).
+    auto comm_cycles = [&](unsigned boundary_block) -> Cycle {
+        if (boundary_block + 1 >= nb)
+            return 0;
+        const auto vectors =
+            bytesToVectors(blocks[boundary_block].activationBytes);
+        return Cycle(std::ceil(double(vectors) * comm_cycles_per_vector));
+    };
+    auto stage_cost = [&](unsigned i, unsigned j) -> Cycle {
+        Cycle compute = 0;
+        for (unsigned b = i; b < j; ++b)
+            compute += blocks[b].computeCycles;
+        const Cycle comm = comm_cycles(j - 1);
+        // FlopsOnly *cuts* ignore movement entirely; MovementAware
+        // cuts optimize the realized stage occupancy.
+        if (mode == BalanceMode::FlopsOnly)
+            return compute;
+        return std::max(compute, comm);
+    };
+
+    // Classic linear-partition DP: minimize the maximum stage cost.
+    const Cycle inf = ~Cycle(0);
+    std::vector<std::vector<Cycle>> best(
+        nd + 1, std::vector<Cycle>(nb + 1, inf));
+    std::vector<std::vector<unsigned>> cut(
+        nd + 1, std::vector<unsigned>(nb + 1, 0));
+    best[0][0] = 0;
+    for (unsigned d = 1; d <= nd; ++d) {
+        for (unsigned j = d; j <= nb; ++j) {
+            for (unsigned i = d - 1; i < j; ++i) {
+                if (best[d - 1][i] == inf)
+                    continue;
+                const Cycle cost =
+                    std::max(best[d - 1][i], stage_cost(i, j));
+                if (cost < best[d][j]) {
+                    best[d][j] = cost;
+                    cut[d][j] = i;
+                }
+            }
+        }
+    }
+
+    // Recover the stage boundaries.
+    std::vector<unsigned> bounds(nd + 1);
+    bounds[nd] = nb;
+    for (unsigned d = nd; d > 0; --d)
+        bounds[d - 1] = cut[d][bounds[d]];
+    TSM_ASSERT(bounds[0] == 0, "partition does not start at block 0");
+
+    PipelinePlan plan;
+    plan.mode = mode;
+    for (unsigned d = 0; d < nd; ++d) {
+        PipelineStage stage;
+        stage.firstBlock = bounds[d];
+        stage.numBlocks = bounds[d + 1] - bounds[d];
+        for (unsigned b = bounds[d]; b < bounds[d + 1]; ++b) {
+            stage.computeCycles += blocks[b].computeCycles;
+            stage.movementCycles += blocks[b].movementCycles;
+            stage.weightBytes += blocks[b].weightBytes;
+        }
+        stage.commCycles = comm_cycles(bounds[d + 1] - 1);
+        plan.stages.push_back(stage);
+    }
+    return plan;
+}
+
+} // namespace tsm

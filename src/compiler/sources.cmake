@@ -1,0 +1,5 @@
+tsm_module(compiler
+    graph.cc
+    cost_model.cc
+    pipeline.cc
+)

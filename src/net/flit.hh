@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The network flow-control unit.
+ *
+ * Paper §2.3: "a *vector* is the flow control unit (flit)". A tensor is
+ * a sequence of such vector flits. There are no packet headers or
+ * routing fields on the wire (Fig 11 allows only 8 framing bytes);
+ * identity below (flow id, sequence number) is simulator metadata that
+ * mirrors what the compiler knows statically, not transmitted state.
+ */
+
+#ifndef TSM_NET_FLIT_HH
+#define TSM_NET_FLIT_HH
+
+#include <cstdint>
+
+#include "arch/vec.hh"
+#include "common/units.hh"
+
+namespace tsm {
+
+/** Identifies one scheduled tensor transfer (compiler-assigned). */
+using FlowId = std::uint32_t;
+
+inline constexpr FlowId kFlowInvalid = ~FlowId(0);
+
+/** Reserved flow ids used by the synchronization machinery. */
+inline constexpr FlowId kFlowHacExchange = kFlowInvalid - 1;
+inline constexpr FlowId kFlowSyncToken = kFlowInvalid - 2;
+
+/** One 320-byte vector in flight. */
+struct Flit
+{
+    FlowId flow = kFlowInvalid;
+
+    /** Position of this vector within its tensor. */
+    std::uint32_t seq = 0;
+
+    /** Optional payload; null for timing-only transfers. */
+    VecPtr payload;
+
+    /**
+     * Set when FEC detected an uncorrectable (multi-bit) burst error on
+     * some traversed link; the data is unusable and the runtime must
+     * replay (paper §4.5). Delivery timing is unaffected — that is the
+     * point of FEC over link-level retry.
+     */
+    bool corrupt = false;
+
+    /**
+     * Scratch field carrying a raw value for sync traffic (e.g. the HAC
+     * value being exchanged) without materializing a payload vector.
+     */
+    std::int64_t meta = 0;
+};
+
+} // namespace tsm
+
+#endif // TSM_NET_FLIT_HH

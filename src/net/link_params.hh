@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-class C2C link timing parameters.
+ *
+ * The packaging hierarchy (paper Fig 5) yields three cable classes with
+ * different lengths and hence latencies. Calibration anchors:
+ *
+ *  - Table 2: intra-node HAC-measured one-way latency mean 216.87 core
+ *    cycles (240,970 ps) with sample std ~2.8 cycles;
+ *  - §5.6: per-hop pipelined all-reduce latency 722 ns and a 3-hop
+ *    (local, global, local) latency of 2,166 ns in a 256-TSP system;
+ *  - abstract: < 3 us end-to-end across the 5-hop-diameter 10,440-TSP
+ *    system.
+ *
+ * A hop = serialization (26.24 ns) + wire/SerDes propagation + the
+ * receiving TSP's fixed forwarding overhead (clock-domain crossing, FEC
+ * pipeline, SRAM cut-through buffer).
+ */
+
+#ifndef TSM_NET_LINK_PARAMS_HH
+#define TSM_NET_LINK_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace tsm {
+
+/** Cable class, determined by the packaging hierarchy. */
+enum class LinkClass : std::uint8_t
+{
+    IntraNode, ///< 34 AWG electrical, <= 0.75 m, inside the 4U chassis
+    IntraRack, ///< QSFP electrical, < 2 m, node-to-node within a rack
+    InterRack, ///< active optical, rack-to-rack
+};
+
+/** Printable name of a link class. */
+const char *linkClassName(LinkClass cls);
+
+/** Fixed per-hop receive/forward pipeline overhead (all classes). */
+inline constexpr Tick kForwardOverheadPs = 252'790;
+
+/** One-way propagation + SerDes latency per link class. */
+constexpr Tick
+linkPropagationPs(LinkClass cls)
+{
+    switch (cls) {
+      case LinkClass::IntraNode: return 240'970; // 216.87 core cycles
+      case LinkClass::IntraRack: return 280'970;
+      case LinkClass::InterRack: return 543'970;
+    }
+    return 0;
+}
+
+/**
+ * Gaussian 1-sigma jitter of the propagation latency per class. The
+ * HAC echo procedure estimates one-way latency as round-trip/2, so the
+ * estimate's std is sigma/sqrt(2); 4,400 ps per direction yields the
+ * ~2.8-core-cycle sample std the paper reports in Table 2.
+ */
+constexpr Tick
+linkJitterPs(LinkClass cls)
+{
+    switch (cls) {
+      case LinkClass::IntraNode: return 4'400;
+      case LinkClass::IntraRack: return 5'100;
+      case LinkClass::InterRack: return 7'400;
+    }
+    return 0;
+}
+
+/**
+ * Total nominal per-hop latency (serialization + propagation +
+ * forwarding overhead): 520 ns intra-node, 560 ns intra-rack, 823 ns
+ * inter-rack.
+ */
+constexpr Tick
+hopLatencyPs(LinkClass cls)
+{
+    return Tick(kVectorSerializationPs) + linkPropagationPs(cls) +
+           kForwardOverheadPs;
+}
+
+static_assert(hopLatencyPs(LinkClass::IntraNode) == 520'000);
+static_assert(hopLatencyPs(LinkClass::IntraRack) == 560'000);
+static_assert(hopLatencyPs(LinkClass::InterRack) == 823'000);
+
+/** Bit error rates used by the FEC model (per traversed vector). */
+struct ErrorModel
+{
+    /** Probability a vector suffers a correctable single-bit error. */
+    double sbePerVector = 0.0;
+
+    /** Probability a vector suffers an uncorrectable burst error. */
+    double mbePerVector = 0.0;
+};
+
+} // namespace tsm
+
+#endif // TSM_NET_LINK_PARAMS_HH

@@ -1,0 +1,168 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+Network::Network(const Topology &topo, EventQueue &eq, const Rng &rng,
+                 bool jitter_enabled)
+    : topo_(&topo), eventq_(&eq), rng_(rng.fork(0x6e657477)),
+      jitterEnabled_(jitter_enabled)
+{
+    directions_.assign(topo.links().size() * 2, Direction{});
+    stats_.assign(topo.links().size(), LinkStats{});
+    rx_.assign(topo.numTsps(), std::vector<PortRx>(kPortsPerTsp));
+    sinks_.assign(topo.numTsps(), nullptr);
+}
+
+void
+Network::attachSink(TspId tsp, FlitSink *sink)
+{
+    TSM_ASSERT(tsp < sinks_.size(), "sink tsp out of range");
+    sinks_[tsp] = sink;
+}
+
+std::size_t
+Network::dirIndex(LinkId l, TspId src) const
+{
+    const Link &link = topo_->links()[l];
+    TSM_ASSERT(src == link.a || src == link.b,
+               "transmit from a TSP not on this link");
+    return std::size_t(l) * 2 + (src == link.a ? 0 : 1);
+}
+
+Tick
+Network::earliestDeparture(TspId src, LinkId l, Tick earliest) const
+{
+    return std::max(earliest, directions_[dirIndex(l, src)].txFreeAt);
+}
+
+Tick
+Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
+{
+    TSM_ASSERT(l < topo_->links().size(), "bad link id");
+    TSM_ASSERT(topo_->linkEnabled(l), "transmit on an out-of-service link");
+    TSM_ASSERT(depart >= eventq_->now(), "transmit scheduled in the past");
+
+    const Link &link = topo_->links()[l];
+    Direction &dir = directions_[dirIndex(l, src)];
+    TSM_ASSERT(depart >= dir.txFreeAt,
+               "SSN invariant violated: overlapping serialization windows "
+               "on one link — the schedule has a link-cycle conflict");
+
+    const Tick ser = Tick(kVectorSerializationPs);
+    dir.txFreeAt = depart + ser;
+
+    LinkStats &st = stats_[l];
+    ++st.flits;
+    st.busyPs += ser;
+
+    // FEC (paper §4.5): single-bit errors are corrected in situ with no
+    // timing impact; multi-bit errors are detected and flagged.
+    const ErrorModel *em = &errorModel_;
+    if (auto it = linkErrorModels_.find(l); it != linkErrorModels_.end())
+        em = &it->second;
+    if (em->sbePerVector > 0.0 && rng_.chance(em->sbePerVector))
+        ++st.sbeCorrected;
+    if (em->mbePerVector > 0.0 && rng_.chance(em->mbePerVector)) {
+        ++st.mbeDetected;
+        flit.corrupt = true;
+    }
+
+    Tick prop = linkPropagationPs(link.cls);
+    if (jitterEnabled_) {
+        const double sigma = double(linkJitterPs(link.cls));
+        // Truncate at +-4 sigma; latency can never go below a physical
+        // floor of ~90% of nominal.
+        double noise = rng_.gaussian(0.0, sigma);
+        noise = std::clamp(noise, -4.0 * sigma, 4.0 * sigma);
+        const double floor_ps = 0.9 * double(prop);
+        prop = Tick(std::max(floor_ps, double(prop) + noise));
+    }
+
+    const Tick arrival = depart + ser + prop;
+    deliver(link, src, l, std::move(flit), arrival);
+    return arrival;
+}
+
+Tick
+Network::controlTransmit(TspId src, LinkId l, Flit flit)
+{
+    TSM_ASSERT(l < topo_->links().size(), "bad link id");
+    TSM_ASSERT(topo_->linkEnabled(l), "transmit on an out-of-service link");
+    const Link &link = topo_->links()[l];
+
+    Tick prop = linkPropagationPs(link.cls);
+    if (jitterEnabled_) {
+        const double sigma = double(linkJitterPs(link.cls));
+        double noise = rng_.gaussian(0.0, sigma);
+        noise = std::clamp(noise, -4.0 * sigma, 4.0 * sigma);
+        const double floor_ps = 0.9 * double(prop);
+        prop = Tick(std::max(floor_ps, double(prop) + noise));
+    }
+    const Tick arrival = eventq_->now() + prop;
+    deliver(link, src, l, std::move(flit), arrival);
+    return arrival;
+}
+
+void
+Network::deliver(const Link &link, TspId src, LinkId l, Flit flit,
+                 Tick arrival)
+{
+    const TspId dst = link.peer(src);
+    const unsigned dst_port = link.portAt(dst);
+    eventq_->schedule(arrival, [this, dst, dst_port, l,
+                                flit = std::move(flit), arrival] {
+        ArrivedFlit af{flit, arrival, l};
+        if (sinks_[dst])
+            sinks_[dst]->flitArrived(dst_port, af);
+        else
+            rx_[dst][dst_port].fifo.push_back(af);
+    });
+}
+
+Tick
+Network::transmitNow(TspId src, LinkId l, Flit flit)
+{
+    return transmit(src, l, std::move(flit),
+                    earliestDeparture(src, l, eventq_->now()));
+}
+
+std::optional<ArrivedFlit>
+Network::pollRx(TspId tsp, unsigned port)
+{
+    auto &fifo = rx_[tsp][port].fifo;
+    if (fifo.empty())
+        return std::nullopt;
+    ArrivedFlit af = fifo.front();
+    fifo.pop_front();
+    return af;
+}
+
+std::size_t
+Network::rxDepth(TspId tsp, unsigned port) const
+{
+    return rx_[tsp][port].fifo.size();
+}
+
+std::uint64_t
+Network::totalFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &st : stats_)
+        total += st.flits;
+    return total;
+}
+
+std::uint64_t
+Network::totalMbes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &st : stats_)
+        total += st.mbeDetected;
+    return total;
+}
+
+} // namespace tsm

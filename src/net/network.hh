@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The live interconnect: binds a Topology to the event queue and moves
+ * vector flits between TSPs.
+ *
+ * Determinism contract (paper §4.4): in SSN operation the network never
+ * arbitrates and never back-pressures. A transmit that would overlap a
+ * port's previous serialization window is a *compiler* bug and panics;
+ * it is not queued. FEC (paper §4.5) corrects single-bit errors in situ
+ * with no timing change and flags uncorrectable errors on the flit for
+ * the runtime to handle by replay.
+ */
+
+#ifndef TSM_NET_NETWORK_HH
+#define TSM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "net/flit.hh"
+#include "net/topology.hh"
+#include "sim/event_queue.hh"
+
+namespace tsm {
+
+/** A flit that has landed in a receive buffer. */
+struct ArrivedFlit
+{
+    Flit flit;
+    Tick arrival = 0;
+    LinkId via = kLinkInvalid;
+};
+
+/**
+ * Receiver interface: the network calls this when a flit lands at a
+ * TSP's port. TspChip implements it; tests may implement it directly.
+ */
+class FlitSink
+{
+  public:
+    virtual ~FlitSink() = default;
+
+    /** Called at the flit's arrival tick. */
+    virtual void flitArrived(unsigned port, const ArrivedFlit &af) = 0;
+};
+
+/** Aggregate per-link counters. */
+struct LinkStats
+{
+    std::uint64_t flits = 0;
+    std::uint64_t sbeCorrected = 0;
+    std::uint64_t mbeDetected = 0;
+
+    /** Last tick at which the transmitter was busy (for utilization). */
+    Tick busyPs = 0;
+};
+
+/**
+ * The interconnection network. Owns per-link transmit state and
+ * per-port receive FIFOs; delivery timing is
+ * serialization + propagation(+jitter).
+ */
+class Network
+{
+  public:
+    /**
+     * @param topo The (externally owned) topology; must outlive this.
+     * @param eq Event queue driving delivery.
+     * @param rng Seed generator for jitter and FEC error draws.
+     * @param jitter_enabled When false, links are perfectly
+     *        deterministic (jitter = 0) — the operating regime SSN
+     *        schedules for after characterization has bounded margins.
+     */
+    Network(const Topology &topo, EventQueue &eq, const Rng &rng,
+            bool jitter_enabled = false);
+
+    const Topology &topo() const { return *topo_; }
+    EventQueue &eventq() const { return *eventq_; }
+
+    /** Register the receiver for a TSP's ports (one sink per TSP). */
+    void attachSink(TspId tsp, FlitSink *sink);
+
+    /** Set the FEC error model applied to every link. */
+    void setErrorModel(const ErrorModel &em) { errorModel_ = em; }
+
+    /** Override the error model of one link (marginal cable, etc.). */
+    void
+    setLinkErrorModel(LinkId l, const ErrorModel &em)
+    {
+        linkErrorModels_[l] = em;
+    }
+
+    /** Enable/disable latency jitter (applies to future transmits). */
+    void setJitterEnabled(bool on) { jitterEnabled_ = on; }
+
+    /**
+     * Transmit one flit from `src` over link `l` starting at tick
+     * `depart` (>= now). Panics if the transmitter is still busy — SSN
+     * schedules must never overlap serialization windows — or if the
+     * link is out of service.
+     *
+     * @return the tick at which the flit will arrive at the peer.
+     */
+    Tick transmit(TspId src, LinkId l, Flit flit, Tick depart);
+
+    /** Convenience: transmit at the current tick. */
+    Tick transmitNow(TspId src, LinkId l, Flit flit);
+
+    /**
+     * Transmit a control flit (HAC exchange, sync tokens). Control
+     * traffic rides the line code's reserved symbols (the HAC reserves
+     * 4 of its 256 codes for control), so it does not occupy a vector
+     * serialization window and may overlap data transmission.
+     */
+    Tick controlTransmit(TspId src, LinkId l, Flit flit);
+
+    /**
+     * Earliest tick >= `earliest` at which `src` may begin a transmit
+     * on link `l` (the port's serialization window must be free).
+     */
+    Tick earliestDeparture(TspId src, LinkId l, Tick earliest) const;
+
+    /**
+     * Pop the oldest undelivered flit at (tsp, port), if any. Only
+     * flits for TSPs with no attached sink land here; a sink takes
+     * delivery directly.
+     */
+    std::optional<ArrivedFlit> pollRx(TspId tsp, unsigned port);
+
+    /** Number of flits waiting at (tsp, port). */
+    std::size_t rxDepth(TspId tsp, unsigned port) const;
+
+    const LinkStats &linkStats(LinkId l) const { return stats_[l]; }
+
+    /** Sum of flits carried over all links. */
+    std::uint64_t totalFlits() const;
+
+    /** Total uncorrectable errors detected across all links. */
+    std::uint64_t totalMbes() const;
+
+  private:
+    struct Direction
+    {
+        /** Transmitter end is free again at this tick. */
+        Tick txFreeAt = 0;
+    };
+
+    struct PortRx
+    {
+        std::deque<ArrivedFlit> fifo;
+    };
+
+    /** Index of the direction record for transmits from `src` on `l`. */
+    std::size_t dirIndex(LinkId l, TspId src) const;
+
+    /** Schedule delivery of a flit into the peer's sink or rx FIFO. */
+    void deliver(const Link &link, TspId src, LinkId l, Flit flit,
+                 Tick arrival);
+
+    const Topology *topo_;
+    EventQueue *eventq_;
+    Rng rng_;
+    bool jitterEnabled_;
+    ErrorModel errorModel_;
+    std::unordered_map<LinkId, ErrorModel> linkErrorModels_;
+
+    std::vector<Direction> directions_; // 2 per link
+    std::vector<LinkStats> stats_;      // 1 per link
+    std::vector<std::vector<PortRx>> rx_; // [tsp][port]
+    std::vector<FlitSink *> sinks_;       // [tsp]
+};
+
+} // namespace tsm
+
+#endif // TSM_NET_NETWORK_HH

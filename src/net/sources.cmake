@@ -1,0 +1,4 @@
+tsm_module(net
+    topology.cc
+    network.cc
+)

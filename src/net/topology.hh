@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Scale-out system topologies (paper §2).
+ *
+ * A topology is a multigraph whose vertices are TSPs and whose edges
+ * are bidirectional C2C links. Because the TSP is both endpoint and
+ * router (the "glueless" direct network of Fig 4(c)), there are no
+ * switch vertices.
+ *
+ * Packaging hierarchy (Fig 5/6):
+ *  - a *node* is 8 TSPs in a 4U chassis. Each TSP has 7 local ports and
+ *    4 global ports. Two node wirings are modeled: the fully-connected
+ *    8-clique (default) and the triple-connected radix-8 ring torus the
+ *    paper describes for nearest-neighbour pipelines (§4.4).
+ *  - the *single-level* Dragonfly treats the node as a 32-port virtual
+ *    router and fully connects up to 33 nodes (264 TSPs, 3-hop
+ *    diameter). With fewer nodes, the spare global ports add parallel
+ *    links per node pair.
+ *  - the *two-level* Dragonfly treats the 9-node rack (72 TSPs) as the
+ *    local group: 144 of the 288 per-rack global ports doubly-connect
+ *    the 9 nodes (2x internal speedup), 144 connect to other racks, up
+ *    to 145 racks (10,440 TSPs, 5-hop diameter).
+ */
+
+#ifndef TSM_NET_TOPOLOGY_HH
+#define TSM_NET_TOPOLOGY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "net/link_params.hh"
+
+namespace tsm {
+
+/** Index of a TSP in the system. */
+using TspId = std::uint32_t;
+
+/** Index of a link in Topology::links(). */
+using LinkId = std::uint32_t;
+
+inline constexpr TspId kTspInvalid = ~TspId(0);
+inline constexpr LinkId kLinkInvalid = ~LinkId(0);
+
+/** How the 8 TSPs inside a node are wired with their 7 local ports. */
+enum class NodeWiring : std::uint8_t
+{
+    FullMesh,   ///< all-to-all, 28 internal cables (paper §2.2)
+    TripleRing, ///< radix-8 ring, 3 parallel links per neighbour (§4.4)
+};
+
+/** One bidirectional C2C link between two TSPs. */
+struct Link
+{
+    TspId a = kTspInvalid;
+    TspId b = kTspInvalid;
+
+    /** Port index on each endpoint (0..6 local, 7..10 global). */
+    std::uint8_t portA = 0;
+    std::uint8_t portB = 0;
+
+    LinkClass cls = LinkClass::IntraNode;
+
+    /** The endpoint opposite `from`. */
+    TspId
+    peer(TspId from) const
+    {
+        return from == a ? b : a;
+    }
+
+    /** The port index on endpoint `at`. */
+    std::uint8_t
+    portAt(TspId at) const
+    {
+        return at == a ? portA : portB;
+    }
+};
+
+/**
+ * A complete system topology plus packaging metadata (which node/rack
+ * each TSP occupies), with adjacency and path-enumeration queries used
+ * by the SSN scheduler.
+ */
+class Topology
+{
+  public:
+    /** A path is the sequence of link ids from source to destination. */
+    using Path = std::vector<LinkId>;
+
+    /** An empty topology; assign from one of the builders below. */
+    Topology() = default;
+
+    /** An 8-TSP node in isolation. */
+    static Topology makeNode(NodeWiring wiring = NodeWiring::FullMesh);
+
+    /**
+     * A bare unidirectionally-symmetric ring of `n` TSPs (one link to
+     * each neighbour, no chords). Not a deployment topology — it is
+     * the torus configuration of paper §4.4's deadlock discussion,
+     * used to study credit deadlock and virtual channels in the
+     * hardware-routed baseline.
+     */
+    static Topology makeRing(unsigned n);
+
+    /**
+     * Single-level Dragonfly of `num_nodes` (2..33) fully-connected
+     * nodes. Spare global ports become parallel links per node pair:
+     * floor(32 / (num_nodes-1)) links per pair.
+     */
+    static Topology makeSingleLevel(unsigned num_nodes,
+                                    NodeWiring wiring = NodeWiring::FullMesh);
+
+    /**
+     * Two-level Dragonfly of `num_racks` (2..145) racks of 9 nodes.
+     * Intra-rack node pairs are doubly connected; inter-rack pairs get
+     * floor(144 / (num_racks-1)) links (>= 1).
+     */
+    static Topology makeTwoLevel(unsigned num_racks,
+                                 NodeWiring wiring = NodeWiring::FullMesh);
+
+    /**
+     * The natural topology for `num_tsps` processing elements: a subset
+     * of a node (trivially connected) up to 8, single-level up to 264,
+     * two-level beyond. num_tsps is rounded up to a whole node/rack.
+     */
+    static Topology forSystemSize(unsigned num_tsps);
+
+    unsigned numTsps() const { return numTsps_; }
+    unsigned numNodes() const { return numNodes_; }
+    unsigned numRacks() const { return numRacks_; }
+    const std::vector<Link> &links() const { return links_; }
+
+    /** Node index of a TSP. */
+    unsigned nodeOf(TspId t) const { return t / kTspsPerNode; }
+
+    /** Rack index of a TSP (0 for single-level systems). */
+    unsigned
+    rackOf(TspId t) const
+    {
+        return nodeOf(t) / (numRacks_ > 1 ? kNodesPerRack : numNodes_);
+    }
+
+    /** Link ids incident to TSP `t`. */
+    const std::vector<LinkId> &linksAt(TspId t) const { return adj_[t]; }
+
+    /** Link id occupying port `port` of TSP `t`, if connected. */
+    std::optional<LinkId> linkAtPort(TspId t, unsigned port) const;
+
+    /** All (possibly parallel) links directly connecting `a` and `b`. */
+    std::vector<LinkId> linksBetween(TspId a, TspId b) const;
+
+    /** Hop distance between two TSPs (BFS over the multigraph). */
+    unsigned distance(TspId src, TspId dst) const;
+
+    /** Maximum pairwise distance (expensive; intended for tests). */
+    unsigned diameter() const;
+
+    /**
+     * Worst-case end-to-end latency over minimal-latency routes,
+     * estimated by running a latency-weighted Dijkstra from
+     * `sample_sources` evenly spaced source TSPs (exact when
+     * sample_sources >= numTsps()).
+     */
+    Tick latencyDiameterPs(unsigned sample_sources = 16) const;
+
+    /** True if every TSP can reach every other. */
+    bool connected() const;
+
+    /**
+     * Enumerate up to `limit` distinct shortest paths from src to dst.
+     * Parallel links count as distinct paths.
+     */
+    std::vector<Path> minimalPaths(TspId src, TspId dst,
+                                   unsigned limit = 64) const;
+
+    /**
+     * Enumerate up to `limit` simple paths of length at most
+     * distance(src,dst) + max_extra_hops — the non-minimal path
+     * diversity that SSN's deterministic load balancing spreads over.
+     */
+    std::vector<Path> paths(TspId src, TspId dst, unsigned max_extra_hops,
+                            unsigned limit = 64) const;
+
+    /** Total latency along a path (sum of per-hop latencies). */
+    Tick pathLatencyPs(const Path &path) const;
+
+    /**
+     * Remove a node's TSPs from service (all their links), modeling the
+     * runtime swapping in the hot spare (paper §4.5). Returns the list
+     * of disabled link ids.
+     */
+    std::vector<LinkId> disableNode(unsigned node);
+
+    /** True if the link is in service. */
+    bool linkEnabled(LinkId l) const { return enabled_[l]; }
+
+    /** Human-readable summary ("2-level dragonfly, 4 racks, ..."). */
+    std::string describe() const;
+
+    /**
+     * Number of links crossing the canonical bisection (lower-id half
+     * vs upper-id half of nodes/racks), used for the Fig 2 bandwidth
+     * profile.
+     */
+    unsigned bisectionLinks() const;
+
+  private:
+    /** Append a link, assigning ports; panics if ports are exhausted. */
+    void addLink(TspId a, TspId b, LinkClass cls);
+
+    /** Wire the 8 TSPs of node `n` according to `wiring`. */
+    void wireNode(unsigned n, NodeWiring wiring);
+
+    void finalize();
+
+    unsigned numTsps_ = 0;
+    unsigned numNodes_ = 0;
+    unsigned numRacks_ = 1;
+    std::vector<Link> links_;
+    std::vector<bool> enabled_;
+    std::vector<std::vector<LinkId>> adj_;
+
+    /** Next free local/global port per TSP during construction. */
+    std::vector<std::uint8_t> nextLocalPort_;
+    std::vector<std::uint8_t> nextGlobalPort_;
+};
+
+} // namespace tsm
+
+#endif // TSM_NET_TOPOLOGY_HH

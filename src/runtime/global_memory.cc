@@ -1,0 +1,115 @@
+#include "runtime/global_memory.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+GlobalMemory::GlobalMemory(const Topology &topo,
+                           std::vector<TspChip *> chips)
+    : topo_(&topo), chips_(std::move(chips))
+{
+    TSM_ASSERT(chips_.size() == topo.numTsps(),
+               "one chip per TSP required");
+}
+
+Bytes
+GlobalMemory::capacity() const
+{
+    return Bytes(topo_->numTsps()) * kLocalMemBytes;
+}
+
+std::uint64_t
+GlobalMemory::words() const
+{
+    return std::uint64_t(topo_->numTsps()) * LocalAddr::kWords;
+}
+
+void
+GlobalMemory::write(const GlobalAddr &addr, VecPtr data)
+{
+    TSM_ASSERT(addr.device < chips_.size(), "device out of range");
+    chips_[addr.device]->mem().write(addr.local, std::move(data));
+}
+
+VecPtr
+GlobalMemory::read(const GlobalAddr &addr) const
+{
+    TSM_ASSERT(addr.device < chips_.size(), "device out of range");
+    return chips_[addr.device]->mem().read(addr.local);
+}
+
+bool
+GlobalMemory::present(const GlobalAddr &addr) const
+{
+    TSM_ASSERT(addr.device < chips_.size(), "device out of range");
+    return chips_[addr.device]->mem().present(addr.local);
+}
+
+CompiledPushes
+GlobalMemory::compile(const std::vector<PushRequest> &pushes,
+                      SsnConfig config) const
+{
+    std::vector<TensorTransfer> transfers;
+    std::unordered_map<FlowId, LocalAddr> src_base;
+    std::unordered_map<FlowId, LocalAddr> dst_base;
+    FlowId flow = 1;
+    for (const auto &p : pushes) {
+        TSM_ASSERT(p.vectors > 0, "empty push");
+        TSM_ASSERT(p.src.local.flatten() + p.vectors <= LocalAddr::kWords,
+                   "push source runs past the end of device memory");
+        TSM_ASSERT(p.dstAddr.flatten() + p.vectors <= LocalAddr::kWords,
+                   "push destination runs past the end of device memory");
+        TSM_ASSERT(p.src.device != p.dstDevice,
+                   "a local copy needs no network push");
+        TensorTransfer t;
+        t.flow = flow;
+        t.src = p.src.device;
+        t.dst = p.dstDevice;
+        t.vectors = p.vectors;
+        // Leave room before the first departure for the source-side
+        // memory read that feeds the send.
+        t.earliest = std::max<Cycle>(p.earliest, 16);
+        transfers.push_back(t);
+        src_base[flow] = p.src.local;
+        dst_base[flow] = p.dstAddr;
+        ++flow;
+    }
+
+    CompiledPushes out;
+    SsnScheduler scheduler(*topo_, config);
+    out.schedule = scheduler.schedule(transfers);
+    out.programs =
+        buildPrograms(out.schedule, *topo_, dst_base, src_base);
+    // The destination Write lands one cycle after the last arrival's
+    // receive margin.
+    out.completion = out.schedule.makespan + kRxMarginCycles + 1;
+    return out;
+}
+
+Tick
+GlobalMemory::execute(const std::vector<PushRequest> &pushes,
+                      SsnConfig config)
+{
+    CompiledPushes compiled = compile(pushes, config);
+    EventQueue &eq = chips_.front()->network().eventq();
+    const Tick start = eq.now();
+    // Re-base the compiled cycle numbers onto the current time so the
+    // batch can launch at any point in the machine's life.
+    const Cycle base = DriftClock().tickToCycle(start) + 4;
+    for (TspId t = 0; t < chips_.size(); ++t) {
+        TSM_ASSERT(!chips_[t]->running(), "chip busy");
+        Program p = std::move(compiled.programs.byChip[t]);
+        p.shift(base);
+        p.emitHalt();
+        chips_[t]->load(std::move(p));
+        chips_[t]->start(start);
+    }
+    eq.run();
+    for (const auto *c : chips_)
+        TSM_ASSERT(c->halted(), "push program did not complete");
+    return eq.now();
+}
+
+} // namespace tsm

@@ -1,0 +1,157 @@
+#include "runtime/runtime.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+Runtime::Runtime(unsigned nodes, std::uint64_t seed)
+    : nodes_(nodes), seed_(seed)
+{
+    TSM_ASSERT(nodes >= 2, "need at least one worker node plus the spare");
+    nodeHealthy_.assign(nodes, true);
+    // The highest-numbered node is held back as the hot spare.
+    spareNode_ = nodes - 1;
+}
+
+std::vector<unsigned>
+Runtime::activeNodes() const
+{
+    std::vector<unsigned> out;
+    for (unsigned n = 0; n < nodes_; ++n) {
+        if (!nodeHealthy_[n])
+            continue;
+        if (n == spareNode_ && !spareUsed_)
+            continue; // held in reserve
+        out.push_back(n);
+    }
+    return out;
+}
+
+std::vector<TspId>
+Runtime::activeTsps() const
+{
+    std::vector<TspId> out;
+    for (unsigned n : activeNodes())
+        for (unsigned i = 0; i < kTspsPerNode; ++i)
+            out.push_back(n * kTspsPerNode + i);
+    return out;
+}
+
+unsigned
+Runtime::logicalTsps() const
+{
+    return unsigned(activeNodes().size()) * kTspsPerNode;
+}
+
+std::uint64_t
+Runtime::attempt(const WorkBuilder &work, const FaultScenario &fault,
+                 bool fault_active, Tick &completion)
+{
+    // Build the physical topology, take failed nodes out of service.
+    Topology topo = Topology::makeSingleLevel(nodes_);
+    for (unsigned n = 0; n < nodes_; ++n)
+        if (!nodeHealthy_[n])
+            topo.disableNode(n);
+
+    SystemConfig cfg;
+    cfg.numTsps = topo.numTsps();
+    cfg.seed = seed_ + (++runCounter_);
+    TsmSystem system(cfg, std::move(topo));
+
+    // Inject the scenario's marginal-node behaviour.
+    if (fault_active && fault.faultyNode != ~0u) {
+        ErrorModel em;
+        em.mbePerVector = fault.mbeRate;
+        const TspId lo = fault.faultyNode * kTspsPerNode;
+        const TspId hi = lo + kTspsPerNode;
+        for (LinkId l = 0; l < system.topo().links().size(); ++l) {
+            const Link &link = system.topo().links()[l];
+            if ((link.a >= lo && link.a < hi) ||
+                (link.b >= lo && link.b < hi))
+                system.net().setLinkErrorModel(l, em);
+        }
+    }
+
+    // Compile: transfers -> schedule -> per-chip programs.
+    const auto transfers = work(system.topo(), activeTsps());
+    SsnScheduler scheduler(system.topo());
+    const auto schedule = scheduler.schedule(transfers);
+    auto programs = buildPrograms(schedule, system.topo());
+    // Sources transmit from stream 0; give it a payload.
+    for (TspId t = 0; t < system.numTsps(); ++t)
+        system.chip(t).setStream(0, makeVec(Vec(1.0f)));
+
+    system.launchRaw(std::move(programs.byChip), 0);
+    const bool done = system.runToCompletion();
+    TSM_ASSERT(done, "inference wedged");
+    completion = system.eventq().now();
+
+    // Triangulate the suspect node from the per-link FEC counters:
+    // the node appearing in the most erroring links is the suspect.
+    std::vector<std::uint64_t> node_errors(nodes_, 0);
+    for (LinkId l = 0; l < system.topo().links().size(); ++l) {
+        const auto &st = system.net().linkStats(l);
+        if (st.mbeDetected == 0)
+            continue;
+        const Link &link = system.topo().links()[l];
+        node_errors[link.a / kTspsPerNode] += st.mbeDetected;
+        node_errors[link.b / kTspsPerNode] += st.mbeDetected;
+    }
+    lastSuspectNode_ = ~0u;
+    std::uint64_t best = 0;
+    for (unsigned n = 0; n < nodes_; ++n) {
+        if (node_errors[n] > best) {
+            best = node_errors[n];
+            lastSuspectNode_ = n;
+        }
+    }
+    return system.criticalErrors();
+}
+
+void
+Runtime::swapSpare(unsigned node)
+{
+    TSM_ASSERT(!spareUsed_, "hot spare already consumed");
+    nodeHealthy_[node] = false;
+    spareUsed_ = true;
+    inform("runtime: node {} out of service, hot spare node {} swapped in",
+           node, spareNode_);
+}
+
+RunReport
+Runtime::runInference(const WorkBuilder &work, const FaultScenario &fault,
+                      unsigned max_attempts)
+{
+    RunReport report;
+    bool fault_active = fault.faultyNode != ~0u;
+    for (unsigned a = 0; a < max_attempts; ++a) {
+        ++report.attempts;
+        Tick completion = kTickInvalid;
+        const std::uint64_t mbes =
+            attempt(work, fault, fault_active, completion);
+        report.mbesObserved += mbes;
+        if (mbes == 0) {
+            report.success = true;
+            report.completion = completion;
+            return report;
+        }
+        // A fault was detected: decide transient vs persistent.
+        if (!fault.persistent) {
+            // Transient: the replay will be clean.
+            fault_active = false;
+        } else if (report.attempts >= 2 && !spareUsed_ &&
+                   lastSuspectNode_ != ~0u) {
+            // Persistent across a replay: replace the triangulated
+            // marginal node (paper: "requires physical intervention
+            // ... to remedy the fault" — until then, the spare).
+            report.failedNode = lastSuspectNode_;
+            report.spareSwapped = true;
+            swapSpare(lastSuspectNode_);
+        }
+    }
+    return report;
+}
+
+} // namespace tsm

@@ -1,0 +1,5 @@
+tsm_module(runtime
+    system.cc
+    runtime.cc
+    global_memory.cc
+)

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+void
+EventQueue::schedule(Tick when, Callback fn)
+{
+    TSM_ASSERT(when >= now_, "cannot schedule an event in the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback fn)
+{
+    schedule(now_ + delay, std::move(fn));
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && executed < limit) {
+        // Copy out before pop so the callback may schedule new events.
+        Entry top = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = top.when;
+        top.fn();
+        ++executed;
+    }
+    return executed;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        Entry top = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        now_ = top.when;
+        top.fn();
+        ++executed;
+    }
+    if (now_ < until)
+        now_ = until;
+    return executed;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    now_ = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace tsm

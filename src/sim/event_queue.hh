@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Global discrete-event simulation kernel.
+ *
+ * Time is a single global picosecond timeline (`Tick`); per-chip clock
+ * domains (sim/clock.hh) convert their local cycles onto it. Events at
+ * the same tick execute in insertion order, which together with the
+ * deterministic RNG makes every simulation reproducible.
+ */
+
+#ifndef TSM_SIM_EVENT_QUEUE_HH
+#define TSM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tsm {
+
+/**
+ * A binary-heap event queue. Not thread-safe; the simulator is
+ * single-threaded by design (parallelism would threaten reproducibility
+ * for no benefit at the experiment sizes used here).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Schedule `fn` to run at absolute time `when` (>= now). */
+    void schedule(Tick when, Callback fn);
+
+    /** Schedule `fn` to run `delay` picoseconds from now. */
+    void scheduleAfter(Tick delay, Callback fn);
+
+    /**
+     * Run events until the queue drains or `limit` events have executed.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t limit = ~std::uint64_t(0));
+
+    /**
+     * Run events with timestamp <= `until`. Afterwards now() == until
+     * (even if the queue drained earlier).
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace tsm
+
+#endif // TSM_SIM_EVENT_QUEUE_HH

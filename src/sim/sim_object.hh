@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Base class for named simulation components sharing one event queue.
+ */
+
+#ifndef TSM_SIM_SIM_OBJECT_HH
+#define TSM_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+
+namespace tsm {
+
+/**
+ * A named component bound to an event queue. Components form a flat
+ * registry-by-name convention ("node3.tsp5.port2") purely for
+ * diagnostics; ownership is managed by the containing system object.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : name_(std::move(name)), eventq_(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    EventQueue &eventq() const { return eventq_; }
+    Tick now() const { return eventq_.now(); }
+
+  private:
+    std::string name_;
+    EventQueue &eventq_;
+};
+
+} // namespace tsm
+
+#endif // TSM_SIM_SIM_OBJECT_HH

@@ -1,0 +1,3 @@
+tsm_module(sim
+    event_queue.cc
+)

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Human-readable listings of compiled artifacts: per-chip program
+ * disassembly and schedule timelines. These are the views a user of
+ * the real toolchain would get from its assembler/inspector, and what
+ * you paste into a bug report when a schedule looks wrong.
+ */
+
+#ifndef TSM_SSN_DUMP_HH
+#define TSM_SSN_DUMP_HH
+
+#include <string>
+
+#include "arch/isa.hh"
+#include "ssn/scheduler.hh"
+
+namespace tsm {
+
+/** Disassemble one program, one instruction per line. */
+std::string disassemble(const Program &program);
+
+/**
+ * Render a schedule as a per-link timeline: each line is one
+ * serialization window (cycle range, link, direction, flow:seq).
+ * Sorted by start cycle; capped at `max_lines` (0 = unlimited).
+ */
+std::string dumpSchedule(const NetworkSchedule &sched,
+                         const Topology &topo, unsigned max_lines = 0);
+
+/** One-line-per-flow summary of a schedule. */
+std::string dumpFlowSummaries(const NetworkSchedule &sched);
+
+/**
+ * ASCII link-utilization profile of a schedule: one bar per link
+ * direction that carried traffic, showing its busy fraction of the
+ * makespan — the at-a-glance view of how well the deterministic load
+ * balancing spread the traffic.
+ */
+std::string dumpLinkUtilization(const NetworkSchedule &sched,
+                                const Topology &topo,
+                                unsigned bar_width = 40);
+
+} // namespace tsm
+
+#endif // TSM_SSN_DUMP_HH

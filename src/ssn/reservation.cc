@@ -1,0 +1,49 @@
+#include "ssn/reservation.hh"
+
+#include "common/log.hh"
+
+namespace tsm {
+
+ReservationLedger::ReservationLedger(std::size_t num_links,
+                                     Cycle window_cycles)
+    : dirs_(num_links * 2), window_(window_cycles)
+{
+    TSM_ASSERT(window_cycles > 0, "zero-width serialization window");
+}
+
+Cycle
+ReservationLedger::earliestFree(LinkId link, bool from_a,
+                                Cycle earliest) const
+{
+    const auto &dir = dirs_[index(link, from_a)];
+    Cycle cand = earliest;
+    // A window starting at `cand` conflicts with any reservation r
+    // with r.start < cand + window and r.start + window > cand.
+    auto it = dir.lower_bound(cand >= window_ ? cand - window_ + 1 : 0);
+    while (it != dir.end() && it->first < cand + window_) {
+        // Overlap: jump past this reservation and re-check.
+        cand = it->first + window_;
+        ++it;
+    }
+    return cand;
+}
+
+bool
+ReservationLedger::free(LinkId link, bool from_a, Cycle start) const
+{
+    return earliestFree(link, from_a, start) == start;
+}
+
+void
+ReservationLedger::reserve(LinkId link, bool from_a, Cycle start)
+{
+    auto &dir = dirs_[index(link, from_a)];
+    TSM_ASSERT(free(link, from_a, start),
+               "link-cycle conflict: double-booked serialization window");
+    dir.emplace(start, start);
+    ++total_;
+    if (start + window_ > horizon_)
+        horizon_ = start + window_;
+}
+
+} // namespace tsm

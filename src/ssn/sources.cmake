@@ -1,0 +1,7 @@
+tsm_module(ssn
+    reservation.cc
+    spread.cc
+    scheduler.cc
+    deadlock.cc
+    dump.cc
+)

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The unit of scheduled communication: a tensor transfer, plus the
+ * scheduler's cycle-granular hop timing model.
+ *
+ * Paper §4.1: the traffic pattern is known a priori from the model's
+ * static computation graph; the compiler turns each tensor edge that
+ * crosses a chip boundary into a TensorTransfer, and the SSN scheduler
+ * (ssn/scheduler.hh) turns transfers into per-link, per-cycle vector
+ * reservations.
+ */
+
+#ifndef TSM_SSN_TRANSFER_HH
+#define TSM_SSN_TRANSFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "common/units.hh"
+#include "net/flit.hh"
+#include "net/topology.hh"
+
+namespace tsm {
+
+/** One tensor to move between two TSPs. */
+struct TensorTransfer
+{
+    /** Compiler-assigned flow id (>= 1; 0 means "untagged"). */
+    FlowId flow = kFlowInvalid;
+
+    TspId src = kTspInvalid;
+    TspId dst = kTspInvalid;
+
+    /** Tensor size in 320-byte vectors. */
+    std::uint32_t vectors = 0;
+
+    /**
+     * Earliest cycle (common time base) at which the source may begin
+     * injecting — the producing sub-task's completion time.
+     */
+    Cycle earliest = 0;
+
+    /** Convenience: size in bytes. */
+    Bytes bytes() const { return Bytes(vectors) * kVectorBytes; }
+};
+
+/**
+ * Cycles until a vector departing on a link of class `cls` has fully
+ * landed at the peer: serialization + propagation, rounded up.
+ * Intra-node: 24 + 217 = 241 cycles.
+ */
+constexpr Cycle
+flightCycles(LinkClass cls)
+{
+    const double ps = kVectorSerializationPs + double(linkPropagationPs(cls));
+    return Cycle(ps / kCorePeriodPs) + 1;
+}
+
+static_assert(flightCycles(LinkClass::IntraNode) == 241);
+
+/**
+ * Fixed receive/forward pipeline in cycles (clock-domain crossing,
+ * FEC, SRAM cut-through buffer) before a landed vector may re-depart
+ * from an intermediate hop. Together with flightCycles this yields the
+ * paper's ~722 ns per-hop pipelined latency.
+ */
+constexpr Cycle
+forwardCycles()
+{
+    return Cycle(double(kForwardOverheadPs) / kCorePeriodPs) + 1; // 228
+}
+
+/** Cycles after arrival before a scheduled Recv may safely issue. */
+inline constexpr Cycle kRxMarginCycles = 2;
+
+} // namespace tsm
+
+#endif // TSM_SSN_TRANSFER_HH

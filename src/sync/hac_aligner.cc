@@ -1,0 +1,97 @@
+#include "sync/hac_aligner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+HacAligner::HacAligner(TspChip &parent, TspChip &child, LinkId link,
+                       double latency_cycles, HacAlignerConfig config)
+    : parent_(parent), child_(child), link_(link),
+      latencyCycles_(latency_cycles), config_(config)
+{
+    const Link &l = parent.network().topo().links()[link];
+    TSM_ASSERT((l.a == parent.id() && l.b == child.id()) ||
+                   (l.b == parent.id() && l.a == child.id()),
+               "aligner endpoints do not match the link");
+    childPort_ = l.portAt(child.id());
+    child_.setControlHandler(
+        childPort_,
+        [this](unsigned, const ArrivedFlit &af) { childHandler(af); });
+}
+
+HacAligner::~HacAligner()
+{
+    child_.setControlHandler(childPort_, nullptr);
+}
+
+void
+HacAligner::start()
+{
+    active_ = true;
+    sendUpdate();
+}
+
+void
+HacAligner::sendUpdate()
+{
+    if (!active_)
+        return;
+    Flit update;
+    update.flow = kFlowHacExchange;
+    update.seq = 2; // alignment update (probes use 0/1)
+    update.meta = parent_.hac();
+    parent_.network().controlTransmit(parent_.id(), link_,
+                                      std::move(update));
+    // Schedule the next periodic update on the parent's clock.
+    EventQueue &eq = parent_.network().eventq();
+    const Tick next = parent_.clock().cycleToTick(
+        parent_.localCycle() + config_.updatePeriodCycles);
+    eq.schedule(next, [this] { sendUpdate(); });
+}
+
+void
+HacAligner::childHandler(const ArrivedFlit &af)
+{
+    if (af.flit.seq != 2)
+        return;
+    // Expected child HAC if perfectly aligned: parent's transmitted
+    // value advanced by the link flight time.
+    const long expected =
+        (long(af.flit.meta) + long(std::llround(latencyCycles_))) %
+        long(kHacPeriodCycles);
+    long diff = expected - long(child_.hac());
+    // Map to signed [-period/2, period/2).
+    diff %= long(kHacPeriodCycles);
+    if (diff < -long(kHacPeriodCycles) / 2)
+        diff += long(kHacPeriodCycles);
+    if (diff >= long(kHacPeriodCycles) / 2)
+        diff -= long(kHacPeriodCycles);
+
+    lastDelta_ = int(diff);
+    deltaMag_.add(std::abs(double(diff)));
+    if (std::abs(diff) <= convergedTol_)
+        ++consecutiveSmall_;
+    else
+        consecutiveSmall_ = 0;
+
+    const int step = int(std::clamp<long>(diff, -config_.maxAdjustPerUpdate,
+                                          config_.maxAdjustPerUpdate));
+    if (step != 0)
+        child_.adjustHac(step);
+    ++updates_;
+}
+
+bool
+HacAligner::converged(int tol, unsigned window) const
+{
+    // convergedTol_ is fixed at construction default (2); treat a
+    // different requested tol conservatively via lastDelta_.
+    if (tol == convergedTol_)
+        return consecutiveSmall_ >= window;
+    return updates_ >= window && std::abs(lastDelta_) <= tol;
+}
+
+} // namespace tsm

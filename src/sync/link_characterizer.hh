@@ -1,0 +1,76 @@
+/**
+ * @file
+ * HAC-based link-latency characterization (paper §3.1, Fig 7(a),
+ * Table 2).
+ *
+ * A TSP transmits its current HAC value to its peer; the peer reflects
+ * it; on return the originator compares the reflected value with its
+ * free-running HAC. The difference is the round-trip latency modulo
+ * the HAC period; halving gives the one-way latency estimate. The
+ * procedure repeats until the mean/variance estimates are trusted
+ * (the paper uses 100 K iterations per link).
+ */
+
+#ifndef TSM_SYNC_LINK_CHARACTERIZER_HH
+#define TSM_SYNC_LINK_CHARACTERIZER_HH
+
+#include "arch/chip.hh"
+#include "common/stats.hh"
+#include "net/network.hh"
+
+namespace tsm {
+
+/**
+ * Characterizes one C2C link between two chips. Install, run the
+ * event queue, read the statistics. The characterizer borrows both
+ * chips' control-flit handlers for the link's ports while active.
+ */
+class LinkCharacterizer
+{
+  public:
+    /**
+     * @param origin The measuring chip.
+     * @param peer The reflecting chip (must be the link's other end).
+     * @param link The link to characterize.
+     */
+    LinkCharacterizer(TspChip &origin, TspChip &peer, LinkId link);
+
+    ~LinkCharacterizer();
+
+    /**
+     * Launch `iterations` echo exchanges. Probes are issued
+     * back-to-back (each new probe triggered by the previous
+     * reflection). Run the event queue to completion afterwards.
+     */
+    void start(unsigned iterations);
+
+    /** True once all requested echoes completed. */
+    bool done() const { return remaining_ == 0; }
+
+    /** One-way latency estimates in core cycles. */
+    const Accumulator &latencyCycles() const { return stats_; }
+
+  private:
+    void sendProbe();
+    void originHandler(const ArrivedFlit &af);
+    void peerHandler(const ArrivedFlit &af);
+
+    TspChip &origin_;
+    TspChip &peer_;
+    LinkId link_;
+    unsigned originPort_;
+    unsigned peerPort_;
+    unsigned remaining_ = 0;
+
+    /** Origin's local cycle when the in-flight probe departed. */
+    Cycle probeDepartCycle_ = 0;
+
+    /** Nominal round trip used to resolve the mod-252 ambiguity. */
+    double nominalRoundTripCycles_;
+
+    Accumulator stats_;
+};
+
+} // namespace tsm
+
+#endif // TSM_SYNC_LINK_CHARACTERIZER_HH

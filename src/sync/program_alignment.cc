@@ -1,0 +1,84 @@
+#include "sync/program_alignment.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+AlignmentPlan
+AlignmentPlan::build(const Topology &topo, const SyncTree &tree)
+{
+    AlignmentPlan plan;
+    plan.topo_ = &topo;
+    plan.tree_ = &tree;
+    plan.arrival_.assign(topo.numTsps(), 0);
+
+    // The root "has" the token at epoch 1 (it deskews to the first
+    // boundary, then transmits). Each hop adds floor(L/period)+1
+    // epochs (paper §3.2).
+    plan.arrival_[tree.root()] = 1;
+    // Process edges in BFS order (SyncTree stores them that way).
+    for (const auto &e : tree.edges()) {
+        const Cycle hop =
+            Cycle(e.latencyCycles) / kHacPeriodCycles + 1;
+        plan.arrival_[e.child] = plan.arrival_[e.parent] + hop;
+    }
+    plan.startEpoch_ =
+        1 + *std::max_element(plan.arrival_.begin(), plan.arrival_.end());
+    return plan;
+}
+
+void
+AlignmentPlan::waitEpochs(Program &p, Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i) {
+        // Step off the boundary, then deskew to the next one.
+        p.emitNop(1);
+        p.emit(Op::Deskew);
+    }
+}
+
+Program
+AlignmentPlan::assemble(TspId t, const Program &payload) const
+{
+    TSM_ASSERT(topo_ != nullptr, "plan not built");
+    Program p;
+
+    const TreeEdge *up = tree_->parentEdge(t);
+    if (up == nullptr) {
+        // Root: align with the first epoch boundary.
+        p.emit(Op::Deskew);
+    } else {
+        // Child: poll the parent port each epoch for the sync token.
+        const Link &l = topo_->links()[up->link];
+        auto &poll = p.emit(Op::PollRecv);
+        poll.port = l.portAt(t);
+        poll.dst = std::uint8_t(kNumStreams - 1);
+        poll.flow = 0; // accept the token regardless of tag
+    }
+
+    // Forward the token to each child immediately (sub-epoch cost).
+    for (const TreeEdge *down : tree_->childEdges(t)) {
+        const Link &l = topo_->links()[down->link];
+        auto &tx = p.emit(Op::Transmit);
+        tx.port = l.portAt(t);
+    }
+
+    // Wait out the remaining epochs so that every chip reaches NOTIFY
+    // at the common start epoch.
+    TSM_ASSERT(startEpoch_ >= arrival_[t], "start epoch mis-computed");
+    waitEpochs(p, startEpoch_ - arrival_[t]);
+
+    // SYNC parks the functional units; NOTIFY restarts them with a
+    // fixed, known latency — the shared time reference from which the
+    // payload's static schedule is measured.
+    p.emit(Op::Sync);
+    p.emit(Op::Notify);
+
+    for (const Instr &i : payload.instrs)
+        p.instrs.push_back(i);
+    return p;
+}
+
+} // namespace tsm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Initial program alignment (paper §3.2, Fig 7(b)).
+ *
+ * With HACs aligned, the epoch boundary is a shared time reference.
+ * The alignment plan builds a per-chip preamble so the whole system
+ * begins its payload at the same global epoch:
+ *
+ *  - the root DESKEWs to an epoch boundary and TRANSMITs a sync token
+ *    to each of its children;
+ *  - every other chip sits in a polling loop that samples its parent
+ *    port each epoch; the token is consumed at the first boundary
+ *    after arrival (floor(L/period) + 1 epochs after the transmit);
+ *  - having the token, a chip forwards it to its own children, then
+ *    waits out the difference between its arrival epoch and the
+ *    globally known start epoch, issues NOTIFY, and falls into the
+ *    payload.
+ *
+ * The total synchronization overhead is (floor(L/period)+1) * h epochs
+ * for tree height h — incurred once per distributed program launch.
+ */
+
+#ifndef TSM_SYNC_PROGRAM_ALIGNMENT_HH
+#define TSM_SYNC_PROGRAM_ALIGNMENT_HH
+
+#include <vector>
+
+#include "arch/isa.hh"
+#include "net/topology.hh"
+#include "sync/sync_tree.hh"
+
+namespace tsm {
+
+/** A computed launch plan: preambles plus the common start epoch. */
+class AlignmentPlan
+{
+  public:
+    /**
+     * Compute the plan for a topology and its HAC spanning tree.
+     * Assumes HACs are already aligned (SystemSynchronizer).
+     */
+    static AlignmentPlan build(const Topology &topo, const SyncTree &tree);
+
+    /** Epoch index (from simulation start) at which payloads begin. */
+    Cycle startEpoch() const { return startEpoch_; }
+
+    /** Epoch at which chip `t` consumes its sync token (root: 1). */
+    Cycle arrivalEpoch(TspId t) const { return arrival_[t]; }
+
+    /**
+     * Full program for chip `t`: alignment preamble followed by the
+     * chip's payload instructions.
+     */
+    Program assemble(TspId t, const Program &payload) const;
+
+  private:
+    /** Emit {Nop, Deskew} pairs waiting `n` whole epochs. */
+    static void waitEpochs(Program &p, Cycle n);
+
+    const Topology *topo_ = nullptr;
+    const SyncTree *tree_ = nullptr;
+    Cycle startEpoch_ = 0;
+    std::vector<Cycle> arrival_;
+};
+
+} // namespace tsm
+
+#endif // TSM_SYNC_PROGRAM_ALIGNMENT_HH

@@ -1,0 +1,6 @@
+tsm_module(sync
+    link_characterizer.cc
+    hac_aligner.cc
+    sync_tree.cc
+    program_alignment.cc
+)

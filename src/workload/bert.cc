@@ -1,0 +1,195 @@
+#include "workload/bert.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.hh"
+#include "common/log.hh"
+
+namespace tsm {
+
+BertConfig
+BertConfig::base()
+{
+    BertConfig c;
+    c.encoders = 12;
+    c.hidden = 768;
+    c.heads = 12;
+    c.intermediate = 3072;
+    return c;
+}
+
+BertConfig
+BertConfig::large()
+{
+    return BertConfig{}; // defaults are BERT-Large
+}
+
+BertConfig
+BertConfig::withEncoders(unsigned n) const
+{
+    BertConfig c = *this;
+    c.encoders = n;
+    return c;
+}
+
+Bytes
+BertConfig::activationBytes() const
+{
+    return Bytes(seqLen) * hidden * dtypeBytes(DType::Fp16);
+}
+
+namespace {
+
+/** Append one encoder layer to the graph; returns its output node. */
+NodeId
+addEncoder(Graph &g, const BertConfig &c, NodeId input, unsigned index)
+{
+    const std::uint64_t s = c.seqLen;
+    const std::uint64_t h = c.hidden;
+    const std::uint64_t head_dim = h / c.heads;
+    const TensorShape act{{s, h}, DType::Fp16};
+
+    // Self-attention: Q, K, V projections.
+    const NodeId wq = g.addWeights({{h, h}, DType::Fp16}, "wq");
+    const NodeId wk = g.addWeights({{h, h}, DType::Fp16}, "wk");
+    const NodeId wv = g.addWeights({{h, h}, DType::Fp16}, "wv");
+    const NodeId q = g.addMatMul(input, wq, s, h, h, DType::Fp16, "q");
+    const NodeId k = g.addMatMul(input, wk, s, h, h, DType::Fp16, "k");
+    const NodeId v = g.addMatMul(input, wv, s, h, h, DType::Fp16, "v");
+
+    // Scores: per head [s x d][d x s] -> expressed as one matmul of
+    // the flattened head batch: [heads*s x d] x [d x s].
+    const NodeId kt =
+        g.addTranspose(k, {{h, s}, DType::Fp16}, "k_t");
+    const NodeId scores = g.addMatMul(q, kt, c.heads * s, head_dim, s,
+                                      DType::Fp16, "scores");
+    const NodeId probs = g.addSoftmax(scores, "probs");
+
+    // Context: [heads*s x s] x [s x d].
+    const NodeId ctx = g.addMatMul(probs, v, c.heads * s, s, head_dim,
+                                   DType::Fp16, "context");
+
+    // Output projection + residual + norm.
+    const NodeId wo = g.addWeights({{h, h}, DType::Fp16}, "wo");
+    const NodeId proj = g.addMatMul(ctx, wo, s, h, h, DType::Fp16, "proj");
+    const NodeId res1 = g.addElementwise({proj, input}, act, "residual1");
+    const NodeId ln1 = g.addLayerNorm(res1, "ln1");
+
+    // Feed-forward network.
+    const NodeId w1 = g.addWeights({{h, c.intermediate}, DType::Fp16},
+                                   "ffn_w1");
+    const NodeId w2 = g.addWeights({{c.intermediate, h}, DType::Fp16},
+                                   "ffn_w2");
+    const NodeId ff1 = g.addMatMul(ln1, w1, s, h, c.intermediate,
+                                   DType::Fp16, "ffn1");
+    const NodeId gelu = g.addElementwise(
+        {ff1}, {{s, c.intermediate}, DType::Fp16}, "gelu");
+    const NodeId ff2 = g.addMatMul(gelu, w2, s, c.intermediate, h,
+                                   DType::Fp16, "ffn2");
+    const NodeId res2 = g.addElementwise({ff2, ln1}, act, "residual2");
+    return g.addLayerNorm(res2, format("encoder{}_out", index));
+}
+
+} // namespace
+
+Graph
+buildBertGraph(const BertConfig &config)
+{
+    Graph g;
+    NodeId cur = g.addInput({{config.seqLen, config.hidden}, DType::Fp16},
+                            "embeddings");
+    for (unsigned e = 0; e < config.encoders; ++e)
+        cur = addEncoder(g, config, cur, e);
+    g.addOutput(cur, "encoded");
+    g.validate();
+    return g;
+}
+
+double
+encoderFlops(const BertConfig &config)
+{
+    const BertConfig one = config.withEncoders(1);
+    return buildBertGraph(one).totalFlops();
+}
+
+std::vector<BlockCost>
+bertBlocks(const BertConfig &config, const TspCostModel &cost)
+{
+    // Cost one encoder once (all encoders are identical).
+    const Graph one = buildBertGraph(config.withEncoders(1));
+    Cycle compute = 0;
+    Cycle movement = 0;
+    for (const auto &node : one.nodes()) {
+        const Cycle c = cost.nodeCycles(node);
+        if (node.kind == OpKind::Transpose)
+            movement += c;
+        else
+            compute += c;
+    }
+    // Attention head reshapes and stream concatenation between the
+    // functional slices: the activations make ~11 passes through the
+    // SXM per encoder (Q/K/V head split and merge, score layout,
+    // context merge, FFN stream concatenation). A naive schedule pays
+    // this serially (Fig 20's "unoptimized" bars); the optimized
+    // schedule hides it under MXM compute.
+    movement += Cycle(std::ceil(11.0 * double(config.activationBytes()) /
+                                cost.sxmBytesPerCycle));
+
+    std::vector<BlockCost> blocks(config.encoders);
+    for (auto &b : blocks) {
+        b.computeCycles = compute;
+        b.movementCycles = movement;
+        b.activationBytes = config.activationBytes();
+        b.weightBytes = one.weightBytes();
+    }
+    return blocks;
+}
+
+BertEstimate
+estimateBert(const BertConfig &config, unsigned tsps,
+             const TspCostModel &cost, BalanceMode mode)
+{
+    BertEstimate est;
+    const auto blocks = bertBlocks(config, cost);
+    // Boundary activations ride 2 of the node's links in parallel.
+    const double comm_cycles_per_vector = 24.0 / 2.0;
+    est.plan = planPipeline(blocks, tsps, mode, comm_cycles_per_vector);
+
+    est.chipSec = TspCostModel::cyclesToSeconds(est.plan.latencyCycles());
+    // Input embeddings in, encoded sequence out.
+    est.pcieSec = cost.pcieSeconds(config.activationBytes()) +
+                  cost.pcieSeconds(config.activationBytes());
+    est.totalSec = est.chipSec + est.pcieSec;
+
+    const double model_flops =
+        encoderFlops(config) * double(config.encoders);
+    est.realizedTops =
+        model_flops / (double(est.plan.bottleneckCycles()) / kCoreFreqHz) /
+        1e12;
+    return est;
+}
+
+SampleSet
+simulateBertRuns(const BertEstimate &estimate, unsigned runs, Rng rng,
+                 PcieVarianceModel variance)
+{
+    SampleSet samples;
+    for (unsigned r = 0; r < runs; ++r) {
+        // The chip portion repeats to the cycle; only the host legs
+        // vary. Extra invocation time is drawn from a clamped
+        // log-normal (long right tail, hard OS-jitter ceiling).
+        const double mu = std::log(variance.meanExtraSec) -
+                          0.5 * std::log(1.0 + std::pow(variance.sigmaSec /
+                                                        variance.meanExtraSec,
+                                                        2.0));
+        const double sg = std::sqrt(std::log(
+            1.0 + std::pow(variance.sigmaSec / variance.meanExtraSec, 2.0)));
+        double extra = std::exp(rng.gaussian(mu, sg));
+        extra = std::min(extra, variance.maxExtraSec);
+        samples.add(estimate.totalSec + extra);
+    }
+    return samples;
+}
+
+} // namespace tsm

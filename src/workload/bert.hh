@@ -1,0 +1,108 @@
+/**
+ * @file
+ * BERT transformer workloads on TSPs (paper §5.4, Figs 17, 18, 20).
+ *
+ * The model is built as a real op graph (compiler/graph.hh) per
+ * encoder: QKV projections, attention scores, softmax, context,
+ * output projection, layer norms, and the two FFN matmuls at the
+ * SQuAD1.1 sequence length of 384. Encoders become pipeline blocks,
+ * partitioned across TSPs by compiler/pipeline.hh.
+ *
+ * Fig 17's latency distribution comes from the only nondeterministic
+ * element of the whole system — the PCIe host transfers — layered on
+ * top of the compiler's exact cycle count for on-chip execution.
+ */
+
+#ifndef TSM_WORKLOAD_BERT_HH
+#define TSM_WORKLOAD_BERT_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "compiler/cost_model.hh"
+#include "compiler/pipeline.hh"
+
+namespace tsm {
+
+/** Transformer encoder-stack configuration. */
+struct BertConfig
+{
+    unsigned encoders = 24;
+    unsigned hidden = 1024;
+    unsigned heads = 16;
+    unsigned intermediate = 4096;
+    unsigned seqLen = 384; // SQuAD1.1 dev
+
+    static BertConfig base();  ///< BERT-Base: 12 x 768
+    static BertConfig large(); ///< BERT-Large: 24 x 1024
+
+    /** Same geometry as Large with a different encoder count
+     *  (paper Fig 18 scales 6..96 encoders). */
+    BertConfig withEncoders(unsigned n) const;
+
+    /** Bytes of activations at an encoder boundary (seq x hidden). */
+    Bytes activationBytes() const;
+};
+
+/** Build the full op graph of one encoder stack. */
+Graph buildBertGraph(const BertConfig &config);
+
+/** FLOPs of a single encoder layer. */
+double encoderFlops(const BertConfig &config);
+
+/**
+ * Per-encoder pipeline block costs under the TSP cost model. The
+ * movement cycles capture the attention reshapes and stream
+ * concatenations a naive schedule fails to overlap (Fig 20).
+ */
+std::vector<BlockCost> bertBlocks(const BertConfig &config,
+                                  const TspCostModel &cost);
+
+/** Deterministic + host components of one inference's latency. */
+struct BertEstimate
+{
+    PipelinePlan plan;
+
+    /** On-chip latency of one inference (exact, deterministic). */
+    double chipSec = 0.0;
+
+    /** Mean PCIe input + output time (the nondeterministic part). */
+    double pcieSec = 0.0;
+
+    /** The compiler's total estimate (chip + mean PCIe). */
+    double totalSec = 0.0;
+
+    /** Steady-state realized throughput in TOPs. */
+    double realizedTops = 0.0;
+};
+
+/** Estimate one inference on `tsps` chips under a balancing mode. */
+BertEstimate estimateBert(const BertConfig &config, unsigned tsps,
+                          const TspCostModel &cost,
+                          BalanceMode mode = BalanceMode::MovementAware);
+
+/** Parameters of the PCIe variance model used for Fig 17. */
+struct PcieVarianceModel
+{
+    /** Mean extra invocation time beyond the deterministic base. */
+    double meanExtraSec = 12e-6;
+
+    /** Standard deviation of the extra time (log-normal-ish tail). */
+    double sigmaSec = 6e-6;
+
+    /** Hard upper bound (host OS jitter clamp). */
+    double maxExtraSec = 60e-6;
+};
+
+/**
+ * Simulate `runs` repeated inferences (paper: 24,240 runs of
+ * BERT-Large on 4 TSPs) and return the latency samples in seconds.
+ * Only the PCIe legs vary; the on-chip portion repeats to the cycle.
+ */
+SampleSet simulateBertRuns(const BertEstimate &estimate, unsigned runs,
+                           Rng rng, PcieVarianceModel variance = {});
+
+} // namespace tsm
+
+#endif // TSM_WORKLOAD_BERT_HH

@@ -1,0 +1,88 @@
+#include "workload/cholesky.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/vec.hh"
+#include "common/log.hh"
+
+namespace tsm {
+
+bool
+choleskyFactor(std::vector<float> &a, unsigned n)
+{
+    TSM_ASSERT(a.size() == std::size_t(n) * n, "matrix size mismatch");
+    // Left-looking column factorization using the paper's kernel
+    // (cholesky_vector_ops): for column i,
+    //   I = S[i:n, i] - U          (U: accumulated update)
+    //   splat = rsqrt(I[0])
+    //   updates = I * splat
+    for (unsigned i = 0; i < n; ++i) {
+        // U[r] = sum_{j<i} L[r][j] * L[i][j] for r >= i.
+        std::vector<float> u(n - i, 0.0f);
+        for (unsigned j = 0; j < i; ++j)
+            for (unsigned r = i; r < n; ++r)
+                u[r - i] += a[r * n + j] * a[i * n + j];
+
+        const float pivot = a[i * n + i] - u[0];
+        if (pivot <= 0.0f)
+            return false;
+        const float splat = fastRsqrt(pivot);
+        for (unsigned r = i; r < n; ++r)
+            a[r * n + i] = (a[r * n + i] - u[r - i]) * splat;
+    }
+    // Zero the strict upper triangle: a now holds L.
+    for (unsigned r = 0; r < n; ++r)
+        for (unsigned c = r + 1; c < n; ++c)
+            a[r * n + c] = 0.0f;
+    return true;
+}
+
+float
+choleskyResidual(const std::vector<float> &original,
+                 const std::vector<float> &factored, unsigned n)
+{
+    float worst = 0.0f;
+    for (unsigned r = 0; r < n; ++r) {
+        for (unsigned c = 0; c < n; ++c) {
+            float acc = 0.0f;
+            for (unsigned k = 0; k <= std::min(r, c); ++k)
+                acc += factored[r * n + k] * factored[c * n + k];
+            worst = std::max(worst,
+                             std::abs(acc - original[r * n + c]));
+        }
+    }
+    return worst;
+}
+
+CholeskyEstimate
+choleskyEstimate(std::uint64_t p, unsigned tsps, const CholeskyModel &model)
+{
+    TSM_ASSERT(p > 0 && tsps > 0, "degenerate factorization");
+    CholeskyEstimate est;
+    est.tsps = tsps;
+
+    // Serial per-column dependency chain (paper: "difficult to
+    // efficiently parallelize due to a loop-carried dependence of a
+    // vector-matrix multiplication on the inner-loop").
+    double cycles = double(p) * double(model.perColumnSerialCycles);
+
+    // Broadcasting each column panel to the peers is pipelined but
+    // leaves a small non-overlapped residue per column.
+    if (tsps > 1)
+        cycles += double(p) * double(model.perColumnBcastCycles);
+
+    // Trailing update: p^3/6 MACs, block-cyclically spread over the
+    // devices.
+    const double macs = double(p) * double(p) * double(p) / 6.0;
+    cycles += macs / (model.effectiveMacsPerCycle * double(tsps));
+
+    est.cycles = Cycle(cycles);
+    est.seconds = cycles / kCoreFreqHz;
+    // Total useful flops of the factorization: ~p^3/3.
+    est.tflops = (double(p) * double(p) * double(p) / 3.0) /
+                 est.seconds / 1e12;
+    return est;
+}
+
+} // namespace tsm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cholesky factorization on TSPs (paper §5.5, Fig 19).
+ *
+ * Two layers:
+ *
+ *  - a numeric kernel mirroring the paper's per-iteration vector
+ *    pipeline (subtract accumulated update, rsqrt of the pivot, scale
+ *    the column) used to factor small SPD matrices exactly as the
+ *    chip's VXM would — including the fast-rsqrt approximation;
+ *
+ *  - a timing model of the block-cyclic multi-TSP execution. The
+ *    inner loop carries a vector-matrix dependence, so every column
+ *    pays a serial pipeline traversal (MXM -> VXM -> MXM) that does
+ *    not parallelize; only the trailing update scales with devices.
+ *    That serial fraction is what limits the paper's speedups to
+ *    1.2x/1.4x/1.5x on 2/4/8 TSPs.
+ */
+
+#ifndef TSM_WORKLOAD_CHOLESKY_HH
+#define TSM_WORKLOAD_CHOLESKY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tsm {
+
+/// @name Numeric kernel
+/// @{
+
+/**
+ * Factor the SPD matrix `a` (n x n, row-major) in place into its
+ * lower-triangular Cholesky factor L (upper part zeroed), using the
+ * paper's per-column vector operations with the fast rsqrt
+ * approximation. Returns false if a pivot is non-positive.
+ */
+bool choleskyFactor(std::vector<float> &a, unsigned n);
+
+/** Max |A - L Lt| over all entries — the factorization residual. */
+float choleskyResidual(const std::vector<float> &original,
+                       const std::vector<float> &factored, unsigned n);
+
+/// @}
+
+/// @name Timing model
+/// @{
+
+/** Calibrated per-column costs of the TSP implementation. */
+struct CholeskyModel
+{
+    /**
+     * Serial dependency chain per column: the update vector's round
+     * trip through MXM and VXM plus stream turnaround. Calibrated so
+     * that at p ~ 16k the model reproduces both of the paper's
+     * anchors (speedups 1.2/1.4/1.5x and ~22 TFLOPs on 8 TSPs).
+     */
+    Cycle perColumnSerialCycles = 3300;
+
+    /**
+     * Non-overlapped part of broadcasting the column panel to peer
+     * TSPs (only paid when tsps > 1).
+     */
+    Cycle perColumnBcastCycles = 50;
+
+    /**
+     * Effective MAC throughput of the trailing update. Far below the
+     * MXM peak (204,800 MACs/cycle) because the update operands are
+     * skinny [1 x K] x [K x 320] slices with partial K tiles.
+     */
+    double effectiveMacsPerCycle = 20000.0;
+};
+
+/** Prediction for one factorization. */
+struct CholeskyEstimate
+{
+    unsigned tsps = 1;
+    Cycle cycles = 0;
+    double seconds = 0.0;
+    double tflops = 0.0;
+};
+
+/**
+ * Execution-time estimate for a p x p factorization block-cyclically
+ * distributed over `tsps` TSPs (320-row blocks, paper Fig 19(a,b)).
+ */
+CholeskyEstimate choleskyEstimate(std::uint64_t p, unsigned tsps,
+                                  const CholeskyModel &model = {});
+
+/// @}
+
+} // namespace tsm
+
+#endif // TSM_WORKLOAD_CHOLESKY_HH

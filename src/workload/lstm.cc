@@ -1,0 +1,76 @@
+#include "workload/lstm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+double
+LstmConfig::flopsPerStep() const
+{
+    // Per layer: x and h each multiply an [1 x H] by [H x 4H].
+    return double(layers) * 2.0 * (2.0 * hidden * 4.0 * hidden);
+}
+
+LstmEstimate
+lstmOnTsp(const LstmConfig &config, unsigned tsps,
+          const TspCostModel &cost, Cycle recurrent_chain_cycles)
+{
+    TSM_ASSERT(tsps >= 1, "need at least one TSP");
+    // One layer-step: two [1 x H][H x 4H] matvecs plus the gate
+    // elementwise ops (~8H lanes on the VXM), plus the loop-carried
+    // dependence: h_t's full pipeline round trip gates step t+1.
+    const auto mv =
+        tspGemmUtilization(cost.mxm, 1, config.hidden,
+                           4ull * config.hidden);
+    const Cycle gates = Cycle(std::ceil(8.0 * config.hidden /
+                                        cost.vxmLanesPerCycle));
+    const Cycle layer_step = 2 * (mv.cycles + cost.opOverheadCycles) +
+                             gates + recurrent_chain_cycles;
+
+    // Layers pipeline across chips (contiguous assignment); boundary
+    // activations are a single [1 x H] vector — negligible against
+    // the intra-node hop, which overlaps the compute anyway.
+    const unsigned stages = std::min(tsps, config.layers);
+    const unsigned layers_per_stage =
+        (config.layers + stages - 1) / stages;
+    const Cycle stage_step = layer_step * layers_per_stage;
+
+    // Latency: fill the pipe once, then one timestep per stage_step.
+    const Cycle total =
+        stage_step * (config.timesteps + stages - 1);
+
+    LstmEstimate est;
+    est.seconds = TspCostModel::cyclesToSeconds(total);
+    est.tokensPerSec = double(config.timesteps) / est.seconds;
+    est.utilization = config.flopsPerStep() * config.timesteps /
+                      est.seconds / 1e12 /
+                      (double(tsps) * cost.mxm.peakFp16Tflops());
+    return est;
+}
+
+LstmEstimate
+lstmOnGpu(const LstmConfig &config, const GpuLstmModel &model)
+{
+    // Per step: the fused gate GEMM is [1 x H][H x 4H]; tensor cores
+    // pad M=1 to the 128-row tile, so useful utilization is ~1/128th
+    // of the tile work, and every step pays a launch.
+    const auto gemm = gpuGemmUtilization(model.gpu, 1, config.hidden,
+                                         4ull * config.hidden);
+    const double step_flops = config.flopsPerStep();
+    const double gemm_sec =
+        step_flops / (gemm.tflops * 1e12);
+    const double step_sec = gemm_sec + model.launchPerStepSec;
+
+    LstmEstimate est;
+    est.seconds = step_sec * config.timesteps;
+    est.tokensPerSec = double(config.timesteps) / est.seconds;
+    est.utilization =
+        step_flops * config.timesteps / est.seconds / 1e12 /
+        model.gpu.peakFp16Tflops;
+    return est;
+}
+
+} // namespace tsm

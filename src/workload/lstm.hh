@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sequence-to-sequence (LSTM) inference — the paper's §5 intro names
+ * LSTMs alongside transformers as the vector-matrix workloads the TSP
+ * targets. This is an extension beyond the paper's figures: a
+ * batch-1, latency-bound recurrent workload where every timestep is a
+ * chain of vector-matrix products. The deterministic TSP keeps its
+ * matrix unit busy on these skinny operands, while the tensor-core
+ * baseline pays tile padding (M = 1 against 128-row tiles) and a
+ * kernel launch per step.
+ */
+
+#ifndef TSM_WORKLOAD_LSTM_HH
+#define TSM_WORKLOAD_LSTM_HH
+
+#include "compiler/cost_model.hh"
+
+namespace tsm {
+
+/** A stacked-LSTM decoder configuration. */
+struct LstmConfig
+{
+    unsigned layers = 4;
+    unsigned hidden = 1024;
+    unsigned timesteps = 256;
+
+    /** FLOPs per timestep: 4 gates x (input + recurrent) matvecs. */
+    double flopsPerStep() const;
+};
+
+/** Prediction for one batch-1 decode. */
+struct LstmEstimate
+{
+    double seconds = 0.0;
+    double tokensPerSec = 0.0;
+    double utilization = 0.0;
+};
+
+/**
+ * TSP estimate: layers pipeline across `tsps` chips; the recurrent
+ * dependence serializes timesteps within a layer — h_t must complete
+ * its round trip through MXM and VXM (the same loop-carried chain
+ * that limits Cholesky, ~300 cycles) before step t+1 can issue — so
+ * steady-state throughput is one timestep per (chain + compute) per
+ * stage once the pipe fills.
+ */
+LstmEstimate lstmOnTsp(const LstmConfig &config, unsigned tsps,
+                       const TspCostModel &cost,
+                       Cycle recurrent_chain_cycles = 300);
+
+/**
+ * GPU baseline estimate: per-step kernel launches and 128-row tile
+ * padding on the M=1 matvecs dominate; the recurrence forbids
+ * batching across time.
+ */
+struct GpuLstmModel
+{
+    GpuModel gpu;
+
+    /** Kernel launch + sync overhead per timestep. */
+    double launchPerStepSec = 8e-6;
+};
+
+LstmEstimate lstmOnGpu(const LstmConfig &config, const GpuLstmModel &model);
+
+} // namespace tsm
+
+#endif // TSM_WORKLOAD_LSTM_HH

@@ -1,0 +1,93 @@
+#include "workload/matmul.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "ssn/transfer.hh"
+
+namespace tsm {
+
+DistMatmulResult
+planDistributedMatmul(const DistMatmulConfig &config,
+                      const TspCostModel &cost)
+{
+    TSM_ASSERT(config.colSplits >= 1 && config.rowSplits >= 1,
+               "need at least one split each way");
+    DistMatmulResult result;
+    result.tsps = config.colSplits * config.rowSplits;
+
+    // Per-TSP sub-operation: [m x k/R] x [k/R x n/X].
+    const std::uint64_t k_shard =
+        (config.k + config.rowSplits - 1) / config.rowSplits;
+    const std::uint64_t n_shard =
+        (config.n + config.colSplits - 1) / config.colSplits;
+    const auto gemm =
+        tspGemmUtilization(cost.mxm, config.m, k_shard, n_shard);
+    result.computeCycles = gemm.cycles + cost.opOverheadCycles;
+
+    // Row-split partial products reduce across the row group, which
+    // is clustered within a node: an all-to-all reduce-scatter over
+    // the fully-connected links, each TSP shipping (R-1)/R of its
+    // partial spread over min(R-1, 7) links, followed by the fused
+    // VXM accumulation.
+    if (config.rowSplits > 1) {
+        const std::uint64_t partial_vectors =
+            bytesToVectors(config.m * n_shard * dtypeBytes(DType::Fp16));
+        const unsigned r = config.rowSplits;
+        const unsigned fan = std::min(r - 1, kLocalPortsPerTsp);
+        const double wire_vectors =
+            double(partial_vectors) * double(r - 1) / double(r);
+        Cycle reduce = Cycle(std::ceil(wire_vectors / fan) * 24.0);
+        reduce += flightCycles(LinkClass::IntraNode) + kRxMarginCycles;
+        // Row groups larger than a node spill onto a second node.
+        if (r > kTspsPerNode)
+            reduce += flightCycles(LinkClass::IntraRack) + forwardCycles();
+        // VXM accumulation is fused into the receive fly-by.
+        reduce += Cycle(std::ceil(double(partial_vectors) / fan));
+        result.reduceCycles = reduce;
+    }
+
+    result.totalCycles = result.computeCycles + result.reduceCycles;
+    result.seconds = TspCostModel::cyclesToSeconds(result.totalCycles);
+    const double flops =
+        2.0 * double(config.m) * double(config.k) * double(config.n);
+    result.tflops = flops / result.seconds / 1e12;
+    result.utilization = result.tflops /
+                         (double(result.tsps) *
+                          cost.mxm.peakFp16Tflops());
+    return result;
+}
+
+ClusterMatmulResult
+clusterColSplitMatmul(std::uint64_t n, unsigned tsps,
+                      const TspCostModel &cost)
+{
+    TSM_ASSERT(n > 0 && tsps > 0, "degenerate cluster matmul");
+    ClusterMatmulResult result;
+
+    const std::uint64_t n_shard = (n + tsps - 1) / tsps;
+    const auto gemm = tspGemmUtilization(cost.mxm, n, n, n_shard);
+    double seconds = TspCostModel::cyclesToSeconds(gemm.cycles);
+
+    // Streaming the weight shard in the traversal order that
+    // minimizes injected volume (paper: row-major order needs only
+    // ~3.7 GB/s for a 100k x 100k operand). If the required rate
+    // exceeds the PCIe channel, the operation becomes host-bound.
+    const double weight_bytes =
+        double(n) * double(n_shard) * double(dtypeBytes(DType::Fp16));
+    const double required_bw = weight_bytes / seconds;
+    if (required_bw > cost.pcieBytesPerSec) {
+        seconds = weight_bytes / cost.pcieBytesPerSec;
+        result.pcieBound = true;
+    }
+
+    const double flops = 2.0 * double(n) * double(n) * double(n);
+    result.seconds = seconds;
+    result.tflops = flops / seconds / 1e12;
+    result.utilization =
+        result.tflops / (double(tsps) * cost.mxm.peakFp16Tflops());
+    return result;
+}
+
+} // namespace tsm

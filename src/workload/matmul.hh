@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Distributed matrix multiplication on multi-TSP systems
+ * (paper §5.2, Figs 13-15).
+ *
+ * Two decomposition primitives, used together:
+ *
+ *  - column-wise weight splits: B[K x N] is split into X column
+ *    blocks; each TSP computes an independent [M x K][K x N/X] and
+ *    results concatenate (no reduction traffic);
+ *  - row-wise weight splits: B is split into R row blocks (and A into
+ *    matching column blocks); each TSP produces a full-size partial
+ *    product and the partials reduce across the row group (reduction
+ *    traffic proportional to M x N/X).
+ *
+ * The paper's Fig 14 workload ([800x32576][32576x8192]) uses 8 column
+ * splits, each further row-split R = 1..13 ways with the row group
+ * clustered inside one node so the partial-product reduction rides
+ * the node's fully-connected links.
+ */
+
+#ifndef TSM_WORKLOAD_MATMUL_HH
+#define TSM_WORKLOAD_MATMUL_HH
+
+#include <cstdint>
+
+#include "compiler/cost_model.hh"
+
+namespace tsm {
+
+/** Configuration of one distributed matmul. */
+struct DistMatmulConfig
+{
+    std::uint64_t m = 800;
+    std::uint64_t k = 32576;
+    std::uint64_t n = 8192;
+
+    /** Column-wise weight splits (independent groups). */
+    unsigned colSplits = 8;
+
+    /** Row-wise splits within each column group. */
+    unsigned rowSplits = 1;
+};
+
+/** Prediction for one distributed matmul execution. */
+struct DistMatmulResult
+{
+    unsigned tsps = 0;
+    Cycle computeCycles = 0;
+
+    /** Reduction of row-split partials over C2C (0 when rowSplits=1). */
+    Cycle reduceCycles = 0;
+
+    Cycle totalCycles = 0;
+    double seconds = 0.0;
+    double tflops = 0.0;
+
+    /** Fraction of the deployed TSPs' aggregate peak. */
+    double utilization = 0.0;
+};
+
+/**
+ * Plan/estimate the distributed matmul of Fig 14. Row groups are
+ * assumed clustered within nodes (reduction over intra-node links).
+ */
+DistMatmulResult planDistributedMatmul(const DistMatmulConfig &config,
+                                       const TspCostModel &cost);
+
+/**
+ * Fig 15: a square [N x N][N x N] fp16 matmul decomposed with
+ * column-wise splits only across a cluster of `tsps` TSPs, inputs
+ * streamed over PCIe in the order that minimizes injected volume
+ * (paper: row-major traversal needs only ~3.7 GB/s).
+ */
+struct ClusterMatmulResult
+{
+    double seconds = 0.0;
+    double tflops = 0.0;
+    double utilization = 0.0;
+
+    /** True when PCIe streaming, not compute, limits throughput. */
+    bool pcieBound = false;
+};
+
+ClusterMatmulResult clusterColSplitMatmul(std::uint64_t n, unsigned tsps,
+                                          const TspCostModel &cost);
+
+} // namespace tsm
+
+#endif // TSM_WORKLOAD_MATMUL_HH

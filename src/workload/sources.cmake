@@ -1,0 +1,7 @@
+tsm_module(workload
+    matmul.cc
+    cholesky.cc
+    bert.cc
+    traffic_gen.cc
+    lstm.cc
+)

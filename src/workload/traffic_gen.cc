@@ -1,0 +1,120 @@
+#include "workload/traffic_gen.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+const char *
+trafficPatternName(TrafficPattern p)
+{
+    switch (p) {
+      case TrafficPattern::UniformRandom: return "uniform-random";
+      case TrafficPattern::Permutation: return "permutation";
+      case TrafficPattern::BitComplement: return "bit-complement";
+      case TrafficPattern::Transpose: return "transpose";
+      case TrafficPattern::NearestNeighbor: return "nearest-neighbor";
+      case TrafficPattern::AllToOne: return "all-to-one";
+      case TrafficPattern::OneToAll: return "one-to-all";
+    }
+    return "?";
+}
+
+std::vector<TrafficPattern>
+allTrafficPatterns()
+{
+    return {TrafficPattern::UniformRandom, TrafficPattern::Permutation,
+            TrafficPattern::BitComplement, TrafficPattern::Transpose,
+            TrafficPattern::NearestNeighbor, TrafficPattern::AllToOne,
+            TrafficPattern::OneToAll};
+}
+
+std::vector<TensorTransfer>
+generateTraffic(const Topology &topo, TrafficPattern pattern,
+                std::uint32_t vectors, std::uint64_t seed)
+{
+    const unsigned n = topo.numTsps();
+    TSM_ASSERT(n >= 2, "traffic needs at least two endpoints");
+    Rng rng(seed);
+
+    // Destination map per source.
+    std::vector<TspId> dst(n);
+    switch (pattern) {
+      case TrafficPattern::UniformRandom:
+        for (unsigned s = 0; s < n; ++s) {
+            do {
+                dst[s] = TspId(rng.below(n));
+            } while (dst[s] == s);
+        }
+        break;
+      case TrafficPattern::Permutation: {
+        std::vector<TspId> perm(n);
+        std::iota(perm.begin(), perm.end(), 0);
+        // Fisher-Yates with the deterministic RNG; re-shuffle until
+        // derangement (no self-loops) — converges fast.
+        auto shuffle = [&] {
+            for (unsigned i = n - 1; i > 0; --i)
+                std::swap(perm[i], perm[rng.below(i + 1)]);
+        };
+        auto has_fixed_point = [&] {
+            for (unsigned i = 0; i < n; ++i)
+                if (perm[i] == i)
+                    return true;
+            return false;
+        };
+        do {
+            shuffle();
+        } while (has_fixed_point());
+        for (unsigned s = 0; s < n; ++s)
+            dst[s] = perm[s];
+        break;
+      }
+      case TrafficPattern::BitComplement:
+        for (unsigned s = 0; s < n; ++s)
+            dst[s] = TspId(n - 1 - s);
+        break;
+      case TrafficPattern::Transpose:
+        for (unsigned s = 0; s < n; ++s)
+            dst[s] = TspId((s + n / 2) % n);
+        break;
+      case TrafficPattern::NearestNeighbor:
+        for (unsigned s = 0; s < n; ++s)
+            dst[s] = TspId((s + 1) % n);
+        break;
+      case TrafficPattern::AllToOne:
+        for (unsigned s = 0; s < n; ++s)
+            dst[s] = 0;
+        break;
+      case TrafficPattern::OneToAll:
+        break; // handled below
+    }
+
+    std::vector<TensorTransfer> out;
+    FlowId flow = 1;
+    if (pattern == TrafficPattern::OneToAll) {
+        for (unsigned d = 1; d < n; ++d) {
+            TensorTransfer t;
+            t.flow = flow++;
+            t.src = 0;
+            t.dst = TspId(d);
+            t.vectors = vectors;
+            out.push_back(t);
+        }
+        return out;
+    }
+    for (unsigned s = 0; s < n; ++s) {
+        if (dst[s] == s)
+            continue; // bit-complement/transpose self at odd centers
+        TensorTransfer t;
+        t.flow = flow++;
+        t.src = TspId(s);
+        t.dst = dst[s];
+        t.vectors = vectors;
+        out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace tsm

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic traffic generators (paper §5.6 studies the traffic
+ * patterns of real workloads; these are the standard interconnect
+ * benchmark patterns used to stress the same machinery).
+ *
+ * Every generator emits a TensorTransfer list for the SSN scheduler
+ * or the baseline router, deterministic given its seed.
+ */
+
+#ifndef TSM_WORKLOAD_TRAFFIC_GEN_HH
+#define TSM_WORKLOAD_TRAFFIC_GEN_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "ssn/transfer.hh"
+
+namespace tsm {
+
+/** The classic synthetic patterns. */
+enum class TrafficPattern : std::uint8_t
+{
+    UniformRandom,  ///< each source picks an independent random dest
+    Permutation,    ///< a random one-to-one mapping (seeded)
+    BitComplement,  ///< dst = ~src (adversarial for many topologies)
+    Transpose,      ///< dst = rotate(src) — shift by half the system
+    NearestNeighbor,///< dst = src + 1 (pipelines)
+    AllToOne,       ///< incast onto TSP 0
+    OneToAll,       ///< broadcast-like fan-out from TSP 0
+};
+
+const char *trafficPatternName(TrafficPattern p);
+
+/**
+ * Generate one transfer per source TSP under the given pattern.
+ * Self-addressed transfers are skipped (their data never leaves the
+ * chip). Flow ids are assigned 1..N in source order.
+ */
+std::vector<TensorTransfer> generateTraffic(const Topology &topo,
+                                            TrafficPattern pattern,
+                                            std::uint32_t vectors,
+                                            std::uint64_t seed = 1);
+
+/** All patterns, for sweeps. */
+std::vector<TrafficPattern> allTrafficPatterns();
+
+} // namespace tsm
+
+#endif // TSM_WORKLOAD_TRAFFIC_GEN_HH

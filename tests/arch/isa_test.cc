@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip.hh"
+
+namespace tsm {
+namespace {
+
+class IsaFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        topo = Topology::makeNode();
+        net = std::make_unique<Network>(topo, eq, Rng(21));
+        for (TspId t = 0; t < topo.numTsps(); ++t)
+            chips.push_back(std::make_unique<TspChip>(t, *net, DriftClock()));
+    }
+
+    void
+    runProgram(TspId chip, Program p)
+    {
+        p.emitHalt();
+        chips[chip]->load(std::move(p));
+        chips[chip]->start(0);
+        eq.run();
+    }
+
+    Topology topo;
+    EventQueue eq;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<TspChip>> chips;
+};
+
+TEST_F(IsaFixture, VSubAndSplat)
+{
+    Program p;
+    auto &sp = p.emit(Op::VSplat);
+    sp.dst = 1;
+    sp.fimm = 10.0f;
+    auto &sp2 = p.emit(Op::VSplat);
+    sp2.dst = 2;
+    sp2.fimm = 4.0f;
+    auto &sub = p.emit(Op::VSub);
+    sub.dst = 3;
+    sub.srcA = 1;
+    sub.srcB = 2;
+    runProgram(0, std::move(p));
+    EXPECT_EQ((*chips[0]->stream(3))[0], 6.0f);
+}
+
+TEST_F(IsaFixture, SxmRotateMovesLanes)
+{
+    Vec v;
+    v[0] = 1.0f;
+    v[1] = 2.0f;
+    chips[0]->setStream(1, makeVec(v));
+    Program p;
+    auto &rot = p.emit(Op::SxmRotate);
+    rot.dst = 2;
+    rot.srcA = 1;
+    rot.imm = 5;
+    runProgram(0, std::move(p));
+    EXPECT_EQ((*chips[0]->stream(2))[5], 1.0f);
+    EXPECT_EQ((*chips[0]->stream(2))[6], 2.0f);
+    EXPECT_EQ((*chips[0]->stream(2))[0], 0.0f);
+}
+
+TEST_F(IsaFixture, SxmRotateNegativeWraps)
+{
+    Vec v;
+    v[0] = 7.0f;
+    chips[0]->setStream(1, makeVec(v));
+    Program p;
+    auto &rot = p.emit(Op::SxmRotate);
+    rot.dst = 2;
+    rot.srcA = 1;
+    rot.imm = -1;
+    runProgram(0, std::move(p));
+    EXPECT_EQ((*chips[0]->stream(2))[319], 7.0f);
+}
+
+TEST_F(IsaFixture, MxmClearDropsWeights)
+{
+    chips[0]->setStream(0, makeVec(Vec(2.0f)));
+    Vec act;
+    act[0] = 1.0f;
+    chips[0]->setStream(1, makeVec(act));
+    Program p;
+    auto &lw = p.emit(Op::MxmLoadWeights);
+    lw.srcA = 0;
+    lw.imm = 0;
+    p.emit(Op::MxmClear);
+    auto &mm = p.emit(Op::MxmMatMul);
+    mm.srcA = 1;
+    mm.dst = 2;
+    runProgram(0, std::move(p));
+    // After clear, the matmul sees no weight rows: zero output.
+    EXPECT_EQ((*chips[0]->stream(2))[0], 0.0f);
+}
+
+TEST_F(IsaFixture, NotifyHasFixedKnownLatency)
+{
+    Program p;
+    p.emit(Op::Sync);
+    p.emit(Op::Notify);
+    runProgram(0, std::move(p));
+    // Sync(1 cycle) + Notify(kNotifyLatency) before Halt.
+    EXPECT_EQ(chips[0]->clock().tickToCycle(chips[0]->stats().haltTick),
+              1 + kNotifyLatency);
+}
+
+TEST_F(IsaFixture, TransmitDeliversSyncTokenToFifo)
+{
+    const LinkId l = topo.linksBetween(0, 1)[0];
+    Program p;
+    auto &tx = p.emit(Op::Transmit);
+    tx.port = topo.links()[l].portAt(0);
+    tx.imm = 42;
+    runProgram(0, std::move(p));
+    // The token sits in chip 1's rx fifo (PollRecv would consume it).
+    EXPECT_EQ(chips[1]->rxDepth(topo.links()[l].portAt(1)), 1u);
+}
+
+TEST_F(IsaFixture, ProgramShiftMovesOnlyScheduledInstrs)
+{
+    Program p;
+    p.emitCompute(5).issueAt = 100;
+    p.emitCompute(5); // unscheduled
+    p.emitHalt().issueAt = 300;
+    p.shift(1000);
+    EXPECT_EQ(p.instrs[0].issueAt, 1100u);
+    EXPECT_EQ(p.instrs[1].issueAt, kCycleUnscheduled);
+    EXPECT_EQ(p.instrs[2].issueAt, 1300u);
+}
+
+TEST_F(IsaFixture, InstrStrIsInformative)
+{
+    Program p;
+    p.emitSend(3, 0, 7, 9).issueAt = 55;
+    EXPECT_EQ(p.instrs[0].str(), "SEND @55 port3 flow7:9");
+    p.emitRead(LocalAddr::unflatten(0), 1);
+    EXPECT_NE(p.instrs[1].str().find("READ"), std::string::npos);
+}
+
+TEST_F(IsaFixture, NopMinimumOneCycle)
+{
+    Program p;
+    p.emitNop(0); // clamped to 1
+    runProgram(0, std::move(p));
+    EXPECT_EQ(chips[0]->clock().tickToCycle(chips[0]->stats().haltTick),
+              1u);
+}
+
+TEST_F(IsaFixture, OpNamesCoverAllOpcodes)
+{
+    for (int op = 0; op <= int(Op::RuntimeDeskew); ++op)
+        EXPECT_STRNE(opName(Op(op)), "?");
+}
+
+TEST_F(IsaFixture, EmptyProgramHaltsImmediately)
+{
+    Program p;
+    chips[0]->load(std::move(p));
+    chips[0]->start(0);
+    eq.run();
+    EXPECT_TRUE(chips[0]->halted());
+    EXPECT_EQ(chips[0]->stats().instrsExecuted, 0u);
+}
+
+TEST_F(IsaFixture, ChipCanRunSuccessivePrograms)
+{
+    Program a;
+    a.emitCompute(10);
+    runProgram(0, std::move(a));
+    const Tick first = chips[0]->stats().haltTick;
+    Program b;
+    b.emitCompute(10);
+    b.emitHalt();
+    chips[0]->load(std::move(b));
+    chips[0]->start(eq.now());
+    eq.run();
+    EXPECT_GT(chips[0]->stats().haltTick, first);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "arch/mem.hh"
+
+namespace tsm {
+namespace {
+
+TEST(LocalAddr, FlattenUnflattenRoundTrip)
+{
+    for (std::uint32_t flat : {0u, 1u, 4095u, 4096u, 100000u,
+                               LocalAddr::kWords - 1}) {
+        const LocalAddr a = LocalAddr::unflatten(flat);
+        EXPECT_TRUE(a.valid());
+        EXPECT_EQ(a.flatten(), flat);
+    }
+}
+
+TEST(LocalAddr, ShapeMatchesPaper)
+{
+    // [2, 44, 2, 4096] x 320 B = 220 MiB per device (paper Fig 3).
+    EXPECT_EQ(LocalAddr::kWords, 2u * 44 * 2 * 4096);
+    EXPECT_EQ(std::uint64_t(LocalAddr::kWords) * kVectorBytes,
+              220ull * 1024 * 1024);
+}
+
+TEST(LocalAddr, ValidityBounds)
+{
+    LocalAddr a;
+    EXPECT_TRUE(a.valid());
+    a.hemisphere = 2;
+    EXPECT_FALSE(a.valid());
+    a = LocalAddr{};
+    a.slice = 44;
+    EXPECT_FALSE(a.valid());
+    a = LocalAddr{};
+    a.offset = 4096;
+    EXPECT_FALSE(a.valid());
+}
+
+TEST(GlobalAddr, DeviceMajorFlattening)
+{
+    GlobalAddr g;
+    g.device = 3;
+    g.local = LocalAddr::unflatten(17);
+    const std::uint64_t flat = g.flatten();
+    EXPECT_EQ(flat, 3ull * LocalAddr::kWords + 17);
+    EXPECT_EQ(GlobalAddr::unflatten(flat), g);
+}
+
+TEST(GlobalAddr, SystemCapacityClaims)
+{
+    // 264 TSPs hold 56+ GiB; 10,440 TSPs hold > 2 TiB (abstract).
+    const std::uint64_t per_dev = kLocalMemBytes;
+    EXPECT_GE(264 * per_dev, 56ull * kGiB);
+    EXPECT_GT(10440 * per_dev, 2ull * 1024 * kGiB);
+}
+
+TEST(LocalMemory, WriteReadBack)
+{
+    LocalMemory m;
+    LocalAddr a = LocalAddr::unflatten(123);
+    EXPECT_FALSE(m.present(a));
+    m.write(a, makeVec(Vec(9.0f)));
+    EXPECT_TRUE(m.present(a));
+    EXPECT_EQ((*m.read(a))[0], 9.0f);
+}
+
+TEST(LocalMemory, UnwrittenReadsNull)
+{
+    LocalMemory m;
+    EXPECT_EQ(m.read(LocalAddr::unflatten(5)), nullptr);
+}
+
+TEST(LocalMemory, PoisonBlocksReads)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    LocalMemory m;
+    LocalAddr a = LocalAddr::unflatten(9);
+    m.write(a, makeVec(Vec(1.0f)));
+    m.poison(a);
+    EXPECT_TRUE(m.poisoned(a));
+    EXPECT_DEATH((void)m.read(a), "replay");
+    // A fresh write clears the error.
+    m.write(a, makeVec(Vec(2.0f)));
+    EXPECT_FALSE(m.poisoned(a));
+}
+
+TEST(LocalMemory, ResetClears)
+{
+    LocalMemory m;
+    m.write(LocalAddr::unflatten(1), makeVec(Vec(1.0f)));
+    m.reset();
+    EXPECT_EQ(m.footprint(), 0u);
+}
+
+} // namespace
+} // namespace tsm

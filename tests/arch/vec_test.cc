@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/vec.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Vec, ZeroInitialized)
+{
+    Vec v;
+    for (unsigned i = 0; i < Vec::kLanes; ++i)
+        ASSERT_EQ(v[i], 0.0f);
+}
+
+TEST(Vec, FillConstructor)
+{
+    Vec v(2.5f);
+    for (unsigned i = 0; i < Vec::kLanes; ++i)
+        ASSERT_EQ(v[i], 2.5f);
+}
+
+TEST(Vec, ElementwiseOps)
+{
+    Vec a(3.0f), b(2.0f);
+    EXPECT_EQ(a.add(b), Vec(5.0f));
+    EXPECT_EQ(a.sub(b), Vec(1.0f));
+    EXPECT_EQ(a.mul(b), Vec(6.0f));
+    EXPECT_EQ(a.scale(4.0f), Vec(12.0f));
+}
+
+TEST(Vec, LaneSumAndDot)
+{
+    Vec a(1.0f), b(2.0f);
+    EXPECT_EQ(a.laneSum(), 320.0f);
+    EXPECT_EQ(a.dot(b), 640.0f);
+    EXPECT_EQ(a.dot(b, 10), 20.0f);
+}
+
+TEST(Vec, RsqrtApproximationAccuracy)
+{
+    // The paper's Cholesky uses a custom rsqrt approximation; ours must
+    // be accurate to a few ppm over a wide dynamic range.
+    for (float x : {0.25f, 1.0f, 2.0f, 16.0f, 1e4f, 1e-4f, 123.456f}) {
+        const float approx = fastRsqrt(x);
+        const float exact = 1.0f / std::sqrt(x);
+        EXPECT_NEAR(approx / exact, 1.0f, 5e-6f) << "x=" << x;
+    }
+}
+
+TEST(Vec, RsqrtVectorized)
+{
+    Vec v(4.0f);
+    const Vec r = v.rsqrt();
+    for (unsigned i = 0; i < Vec::kLanes; ++i)
+        ASSERT_NEAR(r[i], 0.5f, 1e-5f);
+}
+
+TEST(Vec, SharedPayload)
+{
+    VecPtr p = makeVec(Vec(7.0f));
+    VecPtr q = p;
+    EXPECT_EQ((*q)[0], 7.0f);
+    EXPECT_EQ(p.use_count(), 2);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "baseline/hw_router.hh"
+#include "common/rng.hh"
+#include "workload/traffic_gen.hh"
+
+namespace tsm {
+namespace {
+
+/** Conservation: the router delivers exactly what was injected. */
+class RouterConservation
+    : public ::testing::TestWithParam<TrafficPattern>
+{
+};
+
+TEST_P(RouterConservation, EveryPacketDeliveredOncePerPattern)
+{
+    const Topology topo = Topology::makeNode(NodeWiring::TripleRing);
+    const auto transfers = generateTraffic(topo, GetParam(), 24, 13);
+    EventQueue eq;
+    HwRoutedNetwork hw(topo, eq, Rng(13));
+    std::uint64_t injected = 0;
+    for (const auto &t : transfers) {
+        hw.inject(t.flow, t.src, t.dst, t.vectors, 0);
+        injected += t.vectors;
+    }
+    eq.run();
+    EXPECT_EQ(hw.delivered(), injected);
+    for (const auto &t : transfers)
+        EXPECT_GT(hw.flowCompletion(t.flow), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RouterConservation,
+                         ::testing::ValuesIn(allTrafficPatterns()),
+                         [](const auto &info) {
+                             std::string n =
+                                 trafficPatternName(info.param);
+                             for (auto &c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(RouterProperties, DeterministicGivenSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        const Topology topo = Topology::makeNode(NodeWiring::TripleRing);
+        EventQueue eq;
+        HwRoutedNetwork hw(topo, eq, Rng(seed));
+        hw.inject(1, 0, 4, 100, 0);
+        hw.inject(2, 1, 4, 100, 0);
+        eq.run();
+        return std::pair(hw.flowCompletion(1), hw.flowCompletion(2));
+    };
+    EXPECT_EQ(run(5), run(5));
+}
+
+TEST(RouterProperties, RoundRobinIsFairUnderSymmetricLoad)
+{
+    // Two symmetric flows through the same bottleneck finish within a
+    // few percent of each other — round-robin arbitration shares the
+    // link (the paper's age-based-fairness discussion, §6).
+    const Topology topo = Topology::makeNode(NodeWiring::TripleRing);
+    EventQueue eq;
+    HwRoutedNetwork hw(topo, eq, Rng(8));
+    hw.inject(1, 0, 2, 200, 0); // via TSP 1
+    hw.inject(2, 1, 2, 200, 0); // injecting at TSP 1
+    eq.run();
+    const double c1 = double(hw.flowCompletion(1));
+    const double c2 = double(hw.flowCompletion(2));
+    EXPECT_NEAR(c1 / c2, 1.0, 0.25);
+}
+
+TEST(RouterProperties, TinyBuffersStillDeliverEverything)
+{
+    // Depth-1 credits: maximum back-pressure, zero loss.
+    const Topology topo = Topology::makeNode(NodeWiring::TripleRing);
+    EventQueue eq;
+    HwRoutedNetwork hw(topo, eq, Rng(3),
+                       {HwRouting::ObliviousMinimal, 1});
+    for (TspId s = 1; s < 8; ++s)
+        hw.inject(FlowId(s), s, 0, 40, 0);
+    eq.run();
+    EXPECT_EQ(hw.delivered(), 7u * 40);
+}
+
+TEST(RouterProperties, TwoLevelSystemRoutesEndToEnd)
+{
+    const Topology topo = Topology::makeTwoLevel(2);
+    EventQueue eq;
+    HwRoutedNetwork hw(topo, eq, Rng(4));
+    // Rack 0 TSP 0 to rack 1's far corner: up to 7 hops.
+    hw.inject(1, 0, topo.numTsps() - 1, 20, 0);
+    eq.run();
+    EXPECT_EQ(hw.delivered(), 20u);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_matmul.hh"
+#include "baseline/hw_router.hh"
+#include "baseline/sharedmem_allreduce.hh"
+
+namespace tsm {
+namespace {
+
+TEST(HwRouter, SingleFlowDeliversEverything)
+{
+    Topology topo = Topology::makeNode();
+    EventQueue eq;
+    HwRoutedNetwork net(topo, eq, Rng(1));
+    net.inject(1, 0, 1, 100, 0);
+    eq.run();
+    EXPECT_EQ(net.delivered(), 100u);
+    EXPECT_GT(net.flowCompletion(1), 0u);
+}
+
+TEST(HwRouter, LatencyHasVarianceUnderContention)
+{
+    // Fig 8's scenario: in the ring-wired node, traffic from TSP 0 to
+    // TSP 2 must forward through TSP 1, whose own traffic to TSP 2
+    // contends for the same links. Arbitration and queueing create
+    // the latency variance SSN eliminates.
+    Topology topo = Topology::makeNode(NodeWiring::TripleRing);
+    EventQueue eq;
+    HwRoutedNetwork net(topo, eq, Rng(2));
+    net.inject(1, 0, 2, 200, 0);
+    net.inject(2, 1, 2, 200, 0);
+    eq.run();
+    EXPECT_EQ(net.delivered(), 400u);
+    const auto &lat = net.packetLatencyNs();
+    const double p1 = lat.percentile(0.01);
+    const double p99 = lat.percentile(0.99);
+    EXPECT_GT(p99, p1 * 1.2); // wide spread
+}
+
+TEST(HwRouter, UncontendedLatencyIsTight)
+{
+    Topology topo = Topology::makeNode();
+    EventQueue eq;
+    HwRoutedNetwork net(topo, eq, Rng(3));
+    // Single packet: pure flight time.
+    net.inject(1, 0, 1, 1, 0);
+    eq.run();
+    const double ns = net.packetLatencyNs().percentile(0.5);
+    const double expect =
+        psToNs(kVectorSerializationPs +
+               double(linkPropagationPs(LinkClass::IntraNode)));
+    EXPECT_NEAR(ns, expect, 1.0);
+}
+
+TEST(HwRouter, BackpressurePropagates)
+{
+    // Saturating incast: 7 sources at line rate into one sink. The
+    // sink link is the bottleneck; everything still delivers, later.
+    Topology topo = Topology::makeNode();
+    EventQueue eq;
+    HwRoutedNetwork net(topo, eq, Rng(4), {.queueDepth = 2});
+    for (TspId s = 1; s < 8; ++s)
+        net.inject(FlowId(s), s, 0, 50, 0);
+    eq.run();
+    EXPECT_EQ(net.delivered(), 7u * 50);
+}
+
+TEST(HwRouter, MultiHopDeliversAcrossNodes)
+{
+    Topology topo = Topology::makeSingleLevel(2);
+    EventQueue eq;
+    HwRoutedNetwork net(topo, eq, Rng(5));
+    net.inject(1, 0, 15, 40, 0);
+    eq.run();
+    EXPECT_EQ(net.delivered(), 40u);
+}
+
+TEST(HwRouter, AdaptiveSpreadsBetterThanDeterministicUnderLoad)
+{
+    // With deterministic minimal routing all packets from one source
+    // pile onto one path; adaptive uses credits to spread.
+    auto run = [](HwRouting routing) {
+        Topology topo = Topology::makeSingleLevel(2);
+        EventQueue eq;
+        HwRoutedNetwork net(topo, eq, Rng(6), {routing, 4});
+        // Cross-node traffic from all 8 TSPs of node 0 to node 1.
+        for (TspId s = 0; s < 8; ++s)
+            net.inject(FlowId(s + 1), s, 8 + s, 200, 0);
+        eq.run();
+        Tick worst = 0;
+        for (TspId s = 0; s < 8; ++s)
+            worst = std::max(worst, net.flowCompletion(FlowId(s + 1)));
+        return worst;
+    };
+    const Tick det = run(HwRouting::DeterministicMinimal);
+    const Tick adp = run(HwRouting::AdaptiveMinimal);
+    EXPECT_LE(adp, det);
+}
+
+TEST(GpuMatmul, WaveQuantizationSawtooth)
+{
+    // Fig 13: A100 utilization dips when N crosses tile/wave
+    // boundaries; e.g. tiles = 18 * ceil(N/128), waves jump at
+    // multiples where tiles pass 108.
+    const GpuModel gpu;
+    const auto just_full = gpuGemmUtilization(gpu, 2304, 4096, 1536);
+    const auto just_over = gpuGemmUtilization(gpu, 2304, 4096, 1537);
+    EXPECT_GT(just_full.utilization, just_over.utilization);
+    // The drop is significant (a whole extra wave).
+    EXPECT_GT(just_full.utilization - just_over.utilization, 0.05);
+}
+
+TEST(GpuMatmul, TspUtilizationStaysHigh)
+{
+    // Fig 13's headline: TSP >= 80% across the N sweep.
+    const TspMatmulModel tsp;
+    for (std::uint64_t n = 1376; n <= 3500; n += 31) {
+        const auto est = tspGemmUtilization(tsp, 2304, 4096, n);
+        EXPECT_GE(est.utilization, 0.80) << "N=" << n;
+    }
+}
+
+TEST(GpuMatmul, TspPeakMatchesSpec)
+{
+    // 2 fp16 sub-ops/cycle x [1x160][160x320] x 0.9 GHz = 184 TFLOPs.
+    const TspMatmulModel tsp;
+    EXPECT_NEAR(tsp.peakFp16Tflops(), 184.3, 0.5);
+}
+
+TEST(GpuMatmul, TspBeatsGpuUtilizationAcrossSweep)
+{
+    const GpuModel gpu;
+    const TspMatmulModel tsp;
+    unsigned tsp_wins = 0, points = 0;
+    for (std::uint64_t n = 1376; n <= 3500; n += 64) {
+        ++points;
+        const auto g = gpuGemmUtilization(gpu, 2304, 4096, n);
+        const auto t = tspGemmUtilization(tsp, 2304, 4096, n);
+        tsp_wins += t.utilization > g.utilization;
+    }
+    EXPECT_GT(tsp_wins, points * 3 / 4);
+}
+
+TEST(GpuAllReduce, LatencyFloorDominatesSmallTensors)
+{
+    const GpuAllReduceModel model;
+    const auto tiny = gpuRingAllReduce(model, 1 * kKiB);
+    const auto large = gpuRingAllReduce(model, 256 * kMiB);
+    // Small messages are overhead-bound: bus bandwidth is tiny.
+    EXPECT_LT(tiny.busBandwidthBytesPerSec, 1e9);
+    // Large messages approach the link bandwidth ceiling.
+    EXPECT_GT(large.busBandwidthBytesPerSec, 150e9);
+    EXPECT_LT(large.busBandwidthBytesPerSec,
+              model.linkBytesPerSec * 1.01);
+}
+
+TEST(GpuAllReduce, NormalizationScalesBandwidthTerm)
+{
+    const GpuAllReduceModel model;
+    const Bytes big = 512 * kMiB;
+    const auto raw = gpuRingAllReduce(model, big);
+    const auto norm = gpuRingAllReduceNormalized(model, big, 87.5e9);
+    EXPECT_LT(norm.busBandwidthBytesPerSec,
+              raw.busBandwidthBytesPerSec);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hh"
+#include "common/stats.hh"
+
+namespace tsm {
+namespace {
+
+TEST(FormatEdge, CenterAlignment)
+{
+    EXPECT_EQ(format("{:^5}", "x"), "  x  ");
+    EXPECT_EQ(format("{:^6}", "ab"), "  ab  ");
+}
+
+TEST(FormatEdge, FillCharacter)
+{
+    EXPECT_EQ(format("{:*>5}", 7), "****7");
+    EXPECT_EQ(format("{:0>4}", 42), "0042");
+}
+
+TEST(FormatEdge, ScientificAndGeneral)
+{
+    EXPECT_EQ(format("{:.2e}", 12345.0), "1.23e+04");
+    EXPECT_EQ(format("{:.3g}", 0.0001234), "0.000123");
+}
+
+TEST(FormatEdge, NegativeNumbersRightAligned)
+{
+    EXPECT_EQ(format("{:6}", -123), "  -123");
+}
+
+TEST(FormatEdge, EnumsFormatAsIntegers)
+{
+    enum class E { A = 3 };
+    EXPECT_EQ(format("{}", E::A), "3");
+}
+
+TEST(FormatEdge, WidthSmallerThanContentIsNoop)
+{
+    EXPECT_EQ(format("{:2}", "abcdef"), "abcdef");
+}
+
+TEST(AccumulatorEdge, ResetClearsEverything)
+{
+    Accumulator a;
+    a.add(5.0);
+    a.add(7.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    a.add(1.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 1.0);
+}
+
+TEST(AccumulatorEdge, MergeEmptyIsNoop)
+{
+    Accumulator a, empty;
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(HistogramEdge, NonSkippingAsciiShowsAllBins)
+{
+    Histogram h(0, 4, 4);
+    h.add(0.5);
+    const std::string art = h.ascii(10, /*skip_empty=*/false);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(HistogramEdge, BinLoEdges)
+{
+    Histogram h(10, 20, 5);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 18.0);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 2.0);
+}
+
+} // namespace
+} // namespace tsm

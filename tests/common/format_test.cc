@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "common/format.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Format, PlainText)
+{
+    EXPECT_EQ(format("hello"), "hello");
+    EXPECT_EQ(format(""), "");
+}
+
+TEST(Format, DefaultFields)
+{
+    EXPECT_EQ(format("{} {} {}", 1, 2u, "three"), "1 2 three");
+    EXPECT_EQ(format("{}", -17), "-17");
+    EXPECT_EQ(format("{}", std::string("abc")), "abc");
+    EXPECT_EQ(format("{}", true), "true");
+    EXPECT_EQ(format("{}", 'x'), "x");
+}
+
+TEST(Format, Unsigned64)
+{
+    EXPECT_EQ(format("{}", ~std::uint64_t(0)), "18446744073709551615");
+}
+
+TEST(Format, FloatPrecision)
+{
+    EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(format("{:.0f}", 2.6), "3");
+    EXPECT_EQ(format("{:.3f}", -0.5), "-0.500");
+}
+
+TEST(Format, FloatDefaultUsesG)
+{
+    EXPECT_EQ(format("{}", 2.5), "2.5");
+    EXPECT_EQ(format("{}", 100.0), "100");
+}
+
+TEST(Format, WidthAlignment)
+{
+    EXPECT_EQ(format("{:>5}", 42), "   42");
+    EXPECT_EQ(format("{:<5}", 42), "42   ");
+    EXPECT_EQ(format("{:5}", "ab"), "ab   "); // strings left by default
+    EXPECT_EQ(format("{:5}", 7), "    7");    // numbers right by default
+}
+
+TEST(Format, DynamicWidth)
+{
+    EXPECT_EQ(format("{:>{}}", "x", 4), "   x");
+    EXPECT_EQ(format("{:<{}}", "x", 4), "x   ");
+}
+
+TEST(Format, DynamicPrecision)
+{
+    EXPECT_EQ(format("{:.{}f}", 3.14159, 3), "3.142");
+}
+
+TEST(Format, LiteralBraces)
+{
+    EXPECT_EQ(format("{{}}"), "{}");
+    EXPECT_EQ(format("a{{b}}c {}", 1), "a{b}c 1");
+}
+
+TEST(Format, HexPresentation)
+{
+    EXPECT_EQ(format("{:x}", 255), "ff");
+}
+
+TEST(Format, ErrorsThrow)
+{
+    EXPECT_THROW(format("{}"), std::runtime_error);
+    EXPECT_THROW(format("{"), std::runtime_error);
+    EXPECT_THROW(format("{:>{}}", "x"), std::runtime_error);
+}
+
+} // namespace
+} // namespace tsm

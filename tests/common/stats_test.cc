@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.variance(), 4.0, 1e-12);               // population
+    EXPECT_NEAR(a.stddev(), std::sqrt(32.0 / 7.0), 1e-12); // sample
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(3.5);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombined)
+{
+    Rng r(77);
+    Accumulator whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.gaussian(5.0, 2.0);
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeIntoEmpty)
+{
+    Accumulator a, b;
+    b.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-1.0);  // underflow -> bin 0
+    h.add(15.0);  // overflow -> bin 9
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+}
+
+TEST(Histogram, PercentileOnUniformFill)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.cumulativeFraction(49), 0.5, 0.01);
+}
+
+TEST(Histogram, AsciiRendersBars)
+{
+    Histogram h(0.0, 3.0, 3);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    const std::string art = h.ascii(10);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(SampleSet, ExactPercentiles)
+{
+    SampleSet s;
+    for (int i = 100; i >= 1; --i) // reverse order: must sort internally
+        s.add(double(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+    EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/table.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Table, AsciiAlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.ascii();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(std::uint64_t(12345)), "12345");
+    EXPECT_EQ(Table::num(-7), "-7");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"x"});
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "compiler/cost_model.hh"
+#include "compiler/graph.hh"
+
+namespace tsm {
+namespace {
+
+TEST(TensorShape, ElementsAndBytes)
+{
+    TensorShape s{{384, 1024}, DType::Fp16};
+    EXPECT_EQ(s.elements(), 384u * 1024);
+    EXPECT_EQ(s.bytes(), 384u * 1024 * 2);
+    EXPECT_EQ(s.vectors(), (384u * 1024 * 2 + 319) / 320);
+    s.dtype = DType::Int8;
+    EXPECT_EQ(s.bytes(), 384u * 1024);
+}
+
+TEST(Graph, MatMulFlops)
+{
+    Graph g;
+    const NodeId a = g.addInput({{128, 256}, DType::Fp16});
+    const NodeId w = g.addWeights({{256, 512}, DType::Fp16});
+    const NodeId mm = g.addMatMul(a, w, 128, 256, 512);
+    EXPECT_DOUBLE_EQ(g.node(mm).flops(), 2.0 * 128 * 256 * 512);
+    g.validate();
+}
+
+TEST(Graph, TopoOrderIsConstructionOrder)
+{
+    Graph g;
+    const NodeId a = g.addInput({{4, 4}, DType::Fp16});
+    const NodeId b = g.addSoftmax(a);
+    const NodeId c = g.addOutput(b);
+    const auto order = g.topoOrder();
+    EXPECT_EQ(order, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(Graph, ConsumersTracked)
+{
+    Graph g;
+    const NodeId a = g.addInput({{4, 4}, DType::Fp16});
+    const NodeId b = g.addSoftmax(a);
+    const NodeId c = g.addLayerNorm(a);
+    const auto consumers = g.consumers(a);
+    EXPECT_EQ(consumers, (std::vector<NodeId>{b, c}));
+}
+
+TEST(Graph, WeightBytesSumOverWeightNodes)
+{
+    Graph g;
+    g.addWeights({{1024, 1024}, DType::Fp16});
+    g.addWeights({{1024, 4096}, DType::Fp16});
+    EXPECT_EQ(g.weightBytes(),
+              Bytes(1024) * 1024 * 2 + Bytes(1024) * 4096 * 2);
+}
+
+TEST(CostModel, MatMulCyclesMatchSubops)
+{
+    TspCostModel cost;
+    Graph g;
+    const NodeId a = g.addInput({{320, 160}, DType::Fp16});
+    const NodeId w = g.addWeights({{160, 320}, DType::Fp16});
+    const NodeId mm = g.addMatMul(a, w, 320, 160, 320);
+    // 320 rows x 1 n-tile x 1 k-tile = 320 sub-ops, 2 per cycle.
+    EXPECT_EQ(cost.nodeCycles(g.node(mm)),
+              320u / 2 + cost.opOverheadCycles);
+}
+
+TEST(CostModel, PcieTimeHasInvocationFloor)
+{
+    TspCostModel cost;
+    EXPECT_GE(cost.pcieSeconds(1), cost.pcieInvocationSec);
+    const double one_gb = cost.pcieSeconds(1'000'000'000);
+    EXPECT_NEAR(one_gb, cost.pcieInvocationSec + 1e9 / 25.6e9, 1e-4);
+}
+
+TEST(CostModel, GraphCyclesAccumulate)
+{
+    TspCostModel cost;
+    Graph g;
+    const NodeId a = g.addInput({{320, 160}, DType::Fp16});
+    const NodeId w = g.addWeights({{160, 320}, DType::Fp16});
+    g.addMatMul(a, w, 320, 160, 320);
+    g.addMatMul(a, w, 320, 160, 320);
+    EXPECT_EQ(cost.graphCycles(g),
+              2 * (320u / 2 + cost.opOverheadCycles));
+}
+
+} // namespace
+} // namespace tsm

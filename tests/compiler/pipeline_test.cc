@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hh"
+
+namespace tsm {
+namespace {
+
+std::vector<BlockCost>
+uniformBlocks(unsigned n, Cycle compute, Cycle movement, Bytes act)
+{
+    std::vector<BlockCost> blocks(n);
+    for (auto &b : blocks) {
+        b.computeCycles = compute;
+        b.movementCycles = movement;
+        b.activationBytes = act;
+    }
+    return blocks;
+}
+
+TEST(Pipeline, EvenSplitOfUniformBlocks)
+{
+    const auto blocks = uniformBlocks(24, 1000, 0, 0);
+    const auto plan =
+        planPipeline(blocks, 4, BalanceMode::MovementAware);
+    ASSERT_EQ(plan.stages.size(), 4u);
+    for (const auto &s : plan.stages) {
+        EXPECT_EQ(s.numBlocks, 6u);
+        EXPECT_EQ(s.computeCycles, 6000u);
+    }
+    EXPECT_EQ(plan.bottleneckCycles(), 6000u);
+    EXPECT_EQ(plan.latencyCycles(), 24000u);
+}
+
+TEST(Pipeline, MoreDevicesThanBlocksClamps)
+{
+    const auto blocks = uniformBlocks(3, 100, 0, 0);
+    const auto plan =
+        planPipeline(blocks, 8, BalanceMode::MovementAware);
+    EXPECT_EQ(plan.stages.size(), 3u);
+}
+
+TEST(Pipeline, NonUniformBlocksBalanceByDp)
+{
+    // Block costs 1,1,1,10: the optimal 2-way cut isolates the heavy
+    // block.
+    std::vector<BlockCost> blocks = uniformBlocks(4, 1, 0, 0);
+    blocks[3].computeCycles = 10;
+    const auto plan =
+        planPipeline(blocks, 2, BalanceMode::MovementAware);
+    EXPECT_EQ(plan.stages[0].numBlocks, 3u);
+    EXPECT_EQ(plan.stages[1].numBlocks, 1u);
+    EXPECT_EQ(plan.bottleneckCycles(), 10u);
+}
+
+TEST(Pipeline, FlopsOnlyPaysMovementAndCommSerially)
+{
+    const auto blocks = uniformBlocks(8, 1000, 120, 32000);
+    const auto naive = planPipeline(blocks, 4, BalanceMode::FlopsOnly);
+    const auto opt =
+        planPipeline(blocks, 4, BalanceMode::MovementAware);
+    // Fig 20: the optimized compiler realizes higher throughput.
+    EXPECT_GT(naive.bottleneckCycles(), opt.bottleneckCycles());
+    EXPECT_GT(opt.throughputPerSec(), naive.throughputPerSec());
+}
+
+TEST(Pipeline, OverlapHidesCommUnderCompute)
+{
+    // Comm (2400 cycles for 100 vectors) < compute: fully hidden.
+    const auto blocks = uniformBlocks(4, 5000, 0, 100 * 320);
+    const auto plan =
+        planPipeline(blocks, 4, BalanceMode::MovementAware);
+    EXPECT_EQ(plan.bottleneckCycles(), 5000u);
+}
+
+TEST(Pipeline, CommBoundStageShowsInBottleneck)
+{
+    // Tiny compute, huge activations: stages become comm-bound.
+    const auto blocks = uniformBlocks(4, 10, 0, 10000 * 320);
+    const auto plan =
+        planPipeline(blocks, 4, BalanceMode::MovementAware);
+    EXPECT_GT(plan.bottleneckCycles(), 10u * 24 * 100);
+}
+
+TEST(Pipeline, LastStageHasNoBoundaryComm)
+{
+    const auto blocks = uniformBlocks(4, 100, 0, 320 * 50);
+    const auto plan =
+        planPipeline(blocks, 4, BalanceMode::MovementAware);
+    EXPECT_GT(plan.stages[0].commCycles, 0u);
+    EXPECT_EQ(plan.stages.back().commCycles, 0u);
+}
+
+TEST(Pipeline, TransfersChainConsecutiveDevices)
+{
+    const auto blocks = uniformBlocks(4, 100, 0, 320 * 10);
+    const auto plan =
+        planPipeline(blocks, 4, BalanceMode::MovementAware);
+    const auto transfers = plan.transfers(5);
+    ASSERT_EQ(transfers.size(), 3u);
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+        EXPECT_EQ(transfers[i].flow, FlowId(5 + i));
+        EXPECT_EQ(transfers[i].src, TspId(i));
+        EXPECT_EQ(transfers[i].dst, TspId(i + 1));
+        EXPECT_GT(transfers[i].vectors, 0u);
+    }
+    // Later boundaries release later (pipeline order).
+    EXPECT_LT(transfers[0].earliest, transfers[2].earliest);
+}
+
+TEST(Pipeline, ThroughputUsesNominalClock)
+{
+    const auto blocks = uniformBlocks(1, 900'000, 0, 0); // 1 ms
+    const auto plan =
+        planPipeline(blocks, 1, BalanceMode::MovementAware);
+    EXPECT_NEAR(plan.throughputPerSec(), 1000.0, 1.0);
+}
+
+TEST(Pipeline, FitChecksWeightCapacity)
+{
+    // A stage holding more than ~188 MiB of weights does not fit.
+    auto blocks = uniformBlocks(4, 100, 0, 0);
+    for (auto &b : blocks)
+        b.weightBytes = 60 * kMiB;
+    const auto one_chip =
+        planPipeline(blocks, 1, BalanceMode::MovementAware);
+    EXPECT_FALSE(one_chip.fits()); // 240 MiB on one TSP
+    const auto two_chips =
+        planPipeline(blocks, 2, BalanceMode::MovementAware);
+    EXPECT_TRUE(two_chips.fits()); // 120 MiB per TSP
+}
+
+} // namespace
+} // namespace tsm

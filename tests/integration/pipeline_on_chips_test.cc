@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/chip.hh"
+#include "compiler/pipeline.hh"
+#include "ssn/scheduler.hh"
+
+namespace tsm {
+namespace {
+
+/**
+ * The full stack in one test: a 4-stage pipeline's compute blocks and
+ * boundary activations execute as real chip programs over the real
+ * network — compute blocks burn their exact cycle counts, the SSN
+ * schedule moves the activations, and the measured end-to-end latency
+ * matches the plan's analytic estimate to within the margins the
+ * lowering inserts.
+ */
+class PipelineOnChips : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        topo = Topology::makeNode();
+        net = std::make_unique<Network>(topo, eq, Rng(55));
+        for (TspId t = 0; t < topo.numTsps(); ++t)
+            chips.push_back(
+                std::make_unique<TspChip>(t, *net, DriftClock()));
+    }
+
+    Topology topo;
+    EventQueue eq;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<TspChip>> chips;
+};
+
+TEST_F(PipelineOnChips, MeasuredLatencyMatchesPlan)
+{
+    // Four uniform stages of 5000 compute cycles shipping 32-vector
+    // activations between consecutive chips.
+    const unsigned stages = 4;
+    const Cycle stage_compute = 5000;
+    const std::uint32_t act_vectors = 32;
+
+    std::vector<BlockCost> blocks(stages);
+    for (auto &b : blocks) {
+        b.computeCycles = stage_compute;
+        b.activationBytes = Bytes(act_vectors) * kVectorBytes;
+    }
+    const auto plan =
+        planPipeline(blocks, stages, BalanceMode::MovementAware);
+    const auto transfers = plan.transfers(1);
+
+    SsnScheduler scheduler(topo);
+    const auto sched = scheduler.schedule(transfers);
+    ASSERT_TRUE(validateSchedule(sched, topo).ok);
+    auto programs = buildPrograms(sched, topo);
+
+    // Weave each stage's compute into the idle gaps between its
+    // scheduled communication instructions — the single-sequence
+    // stand-in for the real chip's concurrent functional units. The
+    // transfers' earliest cycles already gate sends on the compute.
+    // A stage's compute begins once its input activation has fully
+    // arrived (that dependence is what the plan's latency sums); the
+    // compute then fills the sequence gaps between the stage's own
+    // scheduled sends.
+    auto weave = [](const Program &comm, Cycle compute_budget,
+                    Cycle start_after) {
+        Program merged;
+        Cycle avail_from = start_after;
+        Cycle remaining = compute_budget;
+        for (const auto &i : comm.instrs) {
+            EXPECT_NE(i.issueAt, kCycleUnscheduled)
+                << "comm instructions must be scheduled";
+            const Cycle gap =
+                i.issueAt > avail_from ? i.issueAt - avail_from : 0;
+            const Cycle chunk = std::min(remaining, gap);
+            if (chunk > 0) {
+                auto &c = merged.emitCompute(chunk);
+                c.issueAt = avail_from;
+                remaining -= chunk;
+            }
+            merged.instrs.push_back(i);
+            avail_from =
+                std::max(avail_from, i.issueAt + 1);
+        }
+        if (remaining > 0) {
+            auto &c = merged.emitCompute(remaining);
+            c.issueAt = avail_from;
+        }
+        merged.emitHalt();
+        return merged;
+    };
+    for (unsigned s = 0; s < stages; ++s) {
+        // Stage 0's input comes from the host; later stages wait for
+        // their inbound flow (flow id == s) to finish arriving.
+        const Cycle input_ready =
+            s == 0 ? 0
+                   : sched.flows.at(FlowId(s)).lastArrival +
+                         kRxMarginCycles + 1;
+        chips[s]->setStream(0, makeVec(Vec(float(s))));
+        chips[s]->load(
+            weave(programs.byChip[s], stage_compute, input_ready));
+        chips[s]->start(0);
+    }
+    // Non-stage chips still participate: the spreader routes some
+    // vectors through them, so they run their forwarding programs.
+    for (unsigned s = stages; s < topo.numTsps(); ++s) {
+        Program fwd = std::move(programs.byChip[s]);
+        fwd.emitHalt();
+        chips[s]->load(std::move(fwd));
+        chips[s]->start(0);
+    }
+    eq.run();
+
+    for (unsigned s = 0; s < stages; ++s)
+        ASSERT_TRUE(chips[s]->halted()) << "stage " << s;
+
+    // The last stage halts after its compute plus the final
+    // activation delivery; the plan's latency counts the four stage
+    // occupancies. Allow the lowering margins (receive slack, issue
+    // staggering) but require cycle-scale agreement.
+    const Cycle measured = chips[stages - 1]->clock().tickToCycle(
+        chips[stages - 1]->stats().haltTick);
+    const Cycle planned = plan.latencyCycles();
+    EXPECT_GE(measured + 64, planned);
+    // Upper slack: per-boundary flight + margins the analytic plan
+    // folds into overlap.
+    EXPECT_LE(measured, planned + stages * (flightCycles(
+                                                LinkClass::IntraNode) +
+                                            forwardCycles()));
+
+    // Data integrity: stage s+1 received stage s's activation (plus
+    // possibly some forwarded vectors of other flows).
+    for (unsigned s = 1; s < stages; ++s)
+        EXPECT_GE(chips[s]->stats().flitsReceived, act_vectors);
+}
+
+TEST_F(PipelineOnChips, ComputeGatesCommunication)
+{
+    // A transfer whose earliest is after a compute block must depart
+    // exactly when the schedule says — not when the data "happens" to
+    // be ready. Verify the first departure honours the gate.
+    TensorTransfer t;
+    t.flow = 1;
+    t.src = 0;
+    t.dst = 1;
+    t.vectors = 4;
+    t.earliest = 9999;
+    SsnScheduler scheduler(topo);
+    const auto sched = scheduler.schedule({t});
+    EXPECT_EQ(sched.flows.at(1).firstDeparture, 9999u);
+
+    auto programs = buildPrograms(sched, topo);
+    Program src;
+    src.emitCompute(9999).issueAt = 0;
+    for (const auto &i : programs.byChip[0].instrs)
+        src.instrs.push_back(i);
+    src.emitHalt();
+    chips[0]->setStream(0, makeVec(Vec(1.0f)));
+    chips[0]->load(std::move(src));
+    programs.byChip[1].emitHalt();
+    chips[1]->load(std::move(programs.byChip[1]));
+    chips[0]->start(0);
+    chips[1]->start(0);
+    eq.run();
+    EXPECT_EQ(chips[1]->stats().flitsReceived, 4u);
+}
+
+} // namespace
+} // namespace tsm

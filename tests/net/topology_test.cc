@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.hh"
+
+namespace tsm {
+namespace {
+
+TEST(TopologyNode, FullMeshHas28Links)
+{
+    const Topology t = Topology::makeNode();
+    EXPECT_EQ(t.numTsps(), 8u);
+    // Paper §2.3: 28 internal cables fully connect 8 TSPs.
+    EXPECT_EQ(t.links().size(), 28u);
+    EXPECT_TRUE(t.connected());
+    EXPECT_EQ(t.diameter(), 1u);
+    for (TspId a = 0; a < 8; ++a)
+        for (TspId b = a + 1; b < 8; ++b)
+            EXPECT_EQ(t.linksBetween(a, b).size(), 1u);
+}
+
+TEST(TopologyNode, PortsAreExclusive)
+{
+    const Topology t = Topology::makeNode();
+    for (TspId tsp = 0; tsp < 8; ++tsp) {
+        std::set<unsigned> used;
+        for (LinkId l : t.linksAt(tsp)) {
+            const unsigned port = t.links()[l].portAt(tsp);
+            EXPECT_LT(port, kLocalPortsPerTsp);
+            EXPECT_TRUE(used.insert(port).second)
+                << "port reused on tsp " << tsp;
+        }
+        EXPECT_EQ(used.size(), 7u);
+    }
+}
+
+TEST(TopologyNode, TripleRingWiring)
+{
+    const Topology t = Topology::makeNode(NodeWiring::TripleRing);
+    EXPECT_TRUE(t.connected());
+    // 8 x 3 ring links + 4 diagonals = 28 links again (all 7 local
+    // ports used), but with 3x parallel nearest-neighbour bandwidth.
+    EXPECT_EQ(t.links().size(), 28u);
+    EXPECT_EQ(t.linksBetween(0, 1).size(), 3u);
+    EXPECT_EQ(t.linksBetween(0, 4).size(), 1u); // diagonal
+    EXPECT_EQ(t.linksBetween(0, 2).size(), 0u);
+    EXPECT_LE(t.diameter(), 2u);
+}
+
+TEST(TopologySingleLevel, MaxConfig264Tsps)
+{
+    const Topology t = Topology::makeSingleLevel(33);
+    EXPECT_EQ(t.numTsps(), 264u);
+    EXPECT_TRUE(t.connected());
+    // Paper §2.2: three-hop topology with minimal routing.
+    EXPECT_EQ(t.diameter(), 3u);
+    // 33 nodes all-to-all, one link per pair.
+    unsigned global = 0;
+    for (const auto &l : t.links())
+        global += l.cls != LinkClass::IntraNode;
+    EXPECT_EQ(global, 33u * 32 / 2);
+}
+
+TEST(TopologySingleLevel, SpareGlobalPortsBecomeParallelLinks)
+{
+    const Topology t = Topology::makeSingleLevel(2);
+    // 2 nodes: 32 links between them (all global ports used).
+    unsigned between = 0;
+    for (const auto &l : t.links())
+        if (l.cls != LinkClass::IntraNode)
+            ++between;
+    EXPECT_EQ(between, 32u);
+    EXPECT_EQ(t.diameter(), 2u);
+}
+
+TEST(TopologySingleLevel, GlobalPortBudgetRespected)
+{
+    for (unsigned nodes : {3u, 5u, 9u, 17u, 33u}) {
+        const Topology t = Topology::makeSingleLevel(nodes);
+        std::vector<unsigned> global_ports(t.numTsps(), 0);
+        for (const auto &l : t.links()) {
+            if (l.cls == LinkClass::IntraNode)
+                continue;
+            ++global_ports[l.a];
+            ++global_ports[l.b];
+        }
+        for (unsigned g : global_ports)
+            EXPECT_LE(g, kGlobalPortsPerTsp);
+        EXPECT_TRUE(t.connected());
+        EXPECT_LE(t.diameter(), 3u);
+    }
+}
+
+TEST(TopologyTwoLevel, RackStructure)
+{
+    const Topology t = Topology::makeTwoLevel(4);
+    EXPECT_EQ(t.numTsps(), 4u * 72);
+    EXPECT_EQ(t.numRacks(), 4u);
+    EXPECT_TRUE(t.connected());
+    // Paper §2.2: at most 5-hop diameter with minimal routing.
+    EXPECT_LE(t.diameter(), 5u);
+
+    // Intra-rack: every node pair doubly connected.
+    EXPECT_EQ(t.rackOf(0), 0u);
+    EXPECT_EQ(t.rackOf(71), 0u);
+    EXPECT_EQ(t.rackOf(72), 1u);
+}
+
+TEST(TopologyTwoLevel, PortBudgets)
+{
+    const Topology t = Topology::makeTwoLevel(3);
+    std::vector<unsigned> local_ports(t.numTsps(), 0);
+    std::vector<unsigned> global_ports(t.numTsps(), 0);
+    for (const auto &l : t.links()) {
+        auto &v = l.cls == LinkClass::IntraNode ? local_ports : global_ports;
+        ++v[l.a];
+        ++v[l.b];
+    }
+    for (unsigned i = 0; i < t.numTsps(); ++i) {
+        EXPECT_LE(local_ports[i], kLocalPortsPerTsp);
+        EXPECT_LE(global_ports[i], kGlobalPortsPerTsp);
+    }
+}
+
+TEST(TopologyTwoLevel, MaxSystemIsTenThousandFourForty)
+{
+    // Construct the paper's maximum configuration: 145 racks.
+    const Topology t = Topology::makeTwoLevel(145);
+    EXPECT_EQ(t.numTsps(), 10440u);
+    EXPECT_TRUE(t.connected());
+    // 145 racks all-to-all: one inter-rack link per rack pair.
+    unsigned inter = 0;
+    for (const auto &l : t.links())
+        inter += l.cls == LinkClass::InterRack;
+    EXPECT_EQ(inter, 145u * 144 / 2);
+}
+
+TEST(TopologyForSystemSize, PicksPackagingLevel)
+{
+    EXPECT_EQ(Topology::forSystemSize(4).numNodes(), 1u);
+    EXPECT_EQ(Topology::forSystemSize(8).numNodes(), 1u);
+    EXPECT_EQ(Topology::forSystemSize(16).numNodes(), 2u);
+    EXPECT_EQ(Topology::forSystemSize(264).numNodes(), 33u);
+    EXPECT_EQ(Topology::forSystemSize(265).numRacks(), 4u);
+    EXPECT_EQ(Topology::forSystemSize(10440).numRacks(), 145u);
+}
+
+TEST(TopologyPaths, MinimalAndNonMinimalWithinNode)
+{
+    const Topology t = Topology::makeNode();
+    const auto minimal = t.minimalPaths(0, 1);
+    ASSERT_EQ(minimal.size(), 1u);
+    EXPECT_EQ(minimal[0].size(), 1u);
+
+    // Paper §4.3: 1 minimal + 7 non-minimal paths inside a node.
+    const auto all = t.paths(0, 1, /*extra=*/1, /*limit=*/32);
+    EXPECT_EQ(all.size(), 7u); // 1 direct + 6 two-hop via peers
+    unsigned two_hop = 0;
+    for (const auto &p : all)
+        two_hop += p.size() == 2;
+    EXPECT_EQ(two_hop, 6u);
+}
+
+TEST(TopologyPaths, PathLatencyAccumulates)
+{
+    const Topology t = Topology::makeNode();
+    const auto paths = t.paths(0, 1, 1, 8);
+    EXPECT_EQ(t.pathLatencyPs(paths[0]), hopLatencyPs(LinkClass::IntraNode));
+    EXPECT_EQ(t.pathLatencyPs(paths.back()),
+              2 * hopLatencyPs(LinkClass::IntraNode));
+}
+
+TEST(TopologyPaths, DeterministicOrder)
+{
+    const Topology t = Topology::makeSingleLevel(4);
+    const auto a = t.paths(0, 31, 1, 16);
+    const auto b = t.paths(0, 31, 1, 16);
+    EXPECT_EQ(a, b);
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_LE(a[i - 1].size(), a[i].size());
+}
+
+TEST(TopologyFault, DisableNodeKeepsRestConnected)
+{
+    Topology t = Topology::makeSingleLevel(4);
+    const auto disabled = t.disableNode(1);
+    EXPECT_FALSE(disabled.empty());
+    // All remaining TSPs can still reach each other (edge/node
+    // symmetry, paper §4.5).
+    for (TspId a = 0; a < 8; ++a)
+        for (TspId b = 16; b < 24; ++b)
+            EXPECT_NE(t.distance(a, b), ~0u);
+    // The disabled node is unreachable.
+    EXPECT_EQ(t.distance(0, 8), ~0u);
+}
+
+TEST(TopologyBisection, NodeAndSystem)
+{
+    // Node: 4x4 = 16 links cross the bisection of the 8-clique.
+    EXPECT_EQ(Topology::makeNode().bisectionLinks(), 16u);
+    const Topology t = Topology::makeSingleLevel(32);
+    EXPECT_GT(t.bisectionLinks(), 0u);
+}
+
+} // namespace
+} // namespace tsm

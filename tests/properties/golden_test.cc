@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_matmul.hh"
+#include "collective/allreduce.hh"
+#include "net/topology.hh"
+#include "ssn/dump.hh"
+#include "ssn/scheduler.hh"
+#include "ssn/spread.hh"
+#include "workload/cholesky.hh"
+
+namespace tsm {
+namespace {
+
+/**
+ * Golden anchors: exact values the calibration and the emergent
+ * results rest on. A change to any of these is either a deliberate
+ * recalibration (update here AND in EXPERIMENTS.md) or a regression.
+ */
+
+TEST(Golden, TimingConstants)
+{
+    EXPECT_EQ(Tick(kVectorSerializationPs), 26240u);
+    EXPECT_EQ(flightCycles(LinkClass::IntraNode), 241u);
+    EXPECT_EQ(flightCycles(LinkClass::IntraRack), 277u);
+    EXPECT_EQ(flightCycles(LinkClass::InterRack), 514u);
+    EXPECT_EQ(forwardCycles(), 228u);
+    EXPECT_EQ(hopLatencyPs(LinkClass::IntraNode), 520000u);
+    EXPECT_EQ(hopLatencyPs(LinkClass::IntraRack), 560000u);
+    EXPECT_EQ(hopLatencyPs(LinkClass::InterRack), 823000u);
+}
+
+TEST(Golden, MachineConstants)
+{
+    EXPECT_EQ(kLocalMemBytes, 230686720u);
+    EXPECT_EQ(LocalAddr::kWords, 720896u);
+    EXPECT_EQ(kHacPeriodCycles, 252u);
+    EXPECT_NEAR(TspMatmulModel{}.peakFp16Tflops(), 184.32, 1e-9);
+}
+
+TEST(Golden, SpreadCrossover)
+{
+    // First message size at which the spreader leaves the minimal
+    // path: 21 vectors = 6720 B (the "~8 KB" crossover of Fig 10).
+    std::vector<PathChoice> paths;
+    paths.push_back({{}, flightCycles(LinkClass::IntraNode)});
+    for (unsigned p = 0; p < 7; ++p)
+        paths.push_back({{},
+                         2 * flightCycles(LinkClass::IntraNode) +
+                             forwardCycles()});
+    std::uint32_t first = 0;
+    for (std::uint32_t v = 1; v < 64 && !first; ++v)
+        if (spreadVectors(v, paths).pathsUsed() > 1)
+            first = v;
+    EXPECT_EQ(first, 21u);
+}
+
+TEST(Golden, SingleVectorScheduleTimeline)
+{
+    // The exact itinerary of a minimal one-vector transfer.
+    const Topology topo = Topology::makeNode();
+    SsnScheduler s(topo);
+    TensorTransfer t;
+    t.flow = 1;
+    t.src = 0;
+    t.dst = 1;
+    t.vectors = 1;
+    const auto sched = s.schedule({t});
+    ASSERT_EQ(sched.vectors.size(), 1u);
+    EXPECT_EQ(sched.vectors[0].departure(), 0u);
+    EXPECT_EQ(sched.vectors[0].arrival(), 241u);
+    EXPECT_EQ(sched.makespan, 241u);
+}
+
+TEST(Golden, NodeTopologyCensus)
+{
+    const Topology node = Topology::makeNode();
+    EXPECT_EQ(node.links().size(), 28u);
+    EXPECT_EQ(node.bisectionLinks(), 16u);
+    const Topology max = Topology::makeTwoLevel(145);
+    EXPECT_EQ(max.numTsps(), 10440u);
+    unsigned inter = 0;
+    for (const auto &l : max.links())
+        inter += l.cls == LinkClass::InterRack;
+    EXPECT_EQ(inter, 10440u);
+}
+
+TEST(Golden, AllReduceCeiling)
+{
+    // Saturated 8-way all-reduce bus bandwidth: ~82.3 GB/s
+    // (7 x 12.5 GB/s wire-rate times 2(n-1)/n accounting and the
+    // protocol's residual latency terms).
+    const Topology node = Topology::makeNode();
+    HierarchicalAllReduce ar(node);
+    const double ceiling =
+        ar.analytic(512 * kMiB).busBandwidthBytesPerSec / 1e9;
+    EXPECT_NEAR(ceiling, 82.3, 0.3);
+}
+
+TEST(Golden, CholeskyCalibrationPoint)
+{
+    const auto est8 = choleskyEstimate(16000, 8);
+    EXPECT_NEAR(est8.tflops, 21.2, 0.5);
+    const double t1 = choleskyEstimate(16000, 1).seconds;
+    EXPECT_NEAR(t1 / est8.seconds, 1.50, 0.03);
+}
+
+TEST(Golden, GpuModelReferencePoints)
+{
+    // A100 wave-quantization at the documented sweep endpoints.
+    const GpuModel gpu;
+    EXPECT_NEAR(gpuGemmUtilization(gpu, 2304, 4096, 1376).utilization,
+                0.806, 0.005);
+    EXPECT_NEAR(gpuGemmUtilization(gpu, 2304, 4096, 1553).utilization,
+                0.607, 0.005);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "ssn/reservation.hh"
+#include "ssn/spread.hh"
+
+namespace tsm {
+namespace {
+
+/** Brute-force optimal completion for two paths (exhaustive split). */
+Cycle
+bruteForceTwoPaths(std::uint32_t vectors, const PathChoice &a,
+                   const PathChoice &b, Cycle window)
+{
+    Cycle best = ~Cycle(0);
+    for (std::uint32_t x = 0; x <= vectors; ++x) {
+        const Cycle ca = pathCompletionCycles(x, a.latencyCycles, window);
+        const Cycle cb =
+            pathCompletionCycles(vectors - x, b.latencyCycles, window);
+        best = std::min(best, std::max(ca, cb));
+    }
+    return best;
+}
+
+class SpreadFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SpreadFuzz, WaterFillMatchesBruteForceOnTwoPaths)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 50; ++trial) {
+        PathChoice a{{}, Cycle(rng.below(1000) + 1)};
+        PathChoice b{{}, Cycle(rng.below(1000) + 1)};
+        if (b.latencyCycles < a.latencyCycles)
+            std::swap(a, b);
+        const auto vectors = std::uint32_t(rng.below(200) + 1);
+        const SpreadPlan plan = spreadVectors(vectors, {a, b});
+        const Cycle brute =
+            bruteForceTwoPaths(vectors, a, b, 24);
+        EXPECT_EQ(plan.completionCycles, brute)
+            << "v=" << vectors << " la=" << a.latencyCycles
+            << " lb=" << b.latencyCycles;
+    }
+}
+
+TEST_P(SpreadFuzz, ConservationAndMonotonicity)
+{
+    Rng rng(GetParam() ^ 0x5ee);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<PathChoice> paths;
+        const auto np = unsigned(rng.below(7) + 1);
+        for (unsigned p = 0; p < np; ++p)
+            paths.push_back({{}, Cycle(rng.below(2000) + 100)});
+        std::sort(paths.begin(), paths.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.latencyCycles < y.latencyCycles;
+                  });
+        const auto vectors = std::uint32_t(rng.below(500) + 1);
+        const SpreadPlan plan = spreadVectors(vectors, paths);
+
+        // Conservation.
+        std::uint32_t total = 0;
+        for (auto v : plan.vectorsPerPath)
+            total += v;
+        EXPECT_EQ(total, vectors);
+
+        // Adding a vector never reduces completion.
+        const SpreadPlan plus = spreadVectors(vectors + 1, paths);
+        EXPECT_GE(plus.completionCycles, plan.completionCycles);
+
+        // Adding a path never increases completion.
+        auto more_paths = paths;
+        more_paths.push_back({{}, paths.back().latencyCycles});
+        const SpreadPlan wider = spreadVectors(vectors, more_paths);
+        EXPECT_LE(wider.completionCycles, plan.completionCycles);
+
+        // Faster paths carry at least as many vectors as slower ones.
+        for (std::size_t p = 1; p < paths.size(); ++p) {
+            if (paths[p - 1].latencyCycles < paths[p].latencyCycles) {
+                EXPECT_GE(plan.vectorsPerPath[p - 1],
+                          plan.vectorsPerPath[p]);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpreadFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+class LedgerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LedgerFuzz, MatchesBruteForceOccupancyOracle)
+{
+    // Randomized reservations vs a dumb per-cycle bitmap oracle.
+    Rng rng(GetParam());
+    const Cycle window = 24;
+    const Cycle horizon = 4096;
+    ReservationLedger ledger(1, window);
+    // Oversized so crowded asks near the top stay in range.
+    std::vector<bool> oracle(horizon * 2, false);
+
+    auto oracle_free = [&](Cycle start) {
+        for (Cycle c = start; c < start + window; ++c)
+            if (oracle[c])
+                return false;
+        return true;
+    };
+    auto oracle_earliest = [&](Cycle from) {
+        Cycle c = from;
+        while (!oracle_free(c))
+            ++c;
+        return c;
+    };
+
+    for (int i = 0; i < 100; ++i) {
+        const Cycle ask = Cycle(rng.below(horizon - window));
+        const Cycle got = ledger.earliestFree(0, true, ask);
+        ASSERT_EQ(got, oracle_earliest(ask)) << "iteration " << i;
+        ledger.reserve(0, true, got);
+        for (Cycle c = got; c < got + window; ++c)
+            oracle[c] = true;
+    }
+    EXPECT_EQ(ledger.totalReservations(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LedgerFuzz,
+                         ::testing::Values(7ull, 17ull, 27ull));
+
+} // namespace
+} // namespace tsm

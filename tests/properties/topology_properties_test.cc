@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "net/topology.hh"
+
+namespace tsm {
+namespace {
+
+/** Property sweep over single-level system sizes. */
+class SingleLevelProps : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SingleLevelProps, StructuralInvariants)
+{
+    const unsigned nodes = GetParam();
+    const Topology t = Topology::makeSingleLevel(nodes);
+
+    // Size arithmetic.
+    EXPECT_EQ(t.numTsps(), nodes * kTspsPerNode);
+    EXPECT_EQ(t.numNodes(), nodes);
+    EXPECT_TRUE(t.connected());
+    EXPECT_LE(t.diameter(), 3u);
+
+    // Port budgets: <= 7 local, <= 4 global, no port reused.
+    std::vector<std::set<unsigned>> ports(t.numTsps());
+    std::vector<unsigned> local(t.numTsps(), 0), global(t.numTsps(), 0);
+    for (const auto &l : t.links()) {
+        EXPECT_NE(l.a, l.b);
+        EXPECT_TRUE(ports[l.a].insert(l.portA).second);
+        EXPECT_TRUE(ports[l.b].insert(l.portB).second);
+        auto &va = l.cls == LinkClass::IntraNode ? local : global;
+        ++va[l.a];
+        ++va[l.b];
+    }
+    for (TspId i = 0; i < t.numTsps(); ++i) {
+        EXPECT_LE(local[i], kLocalPortsPerTsp);
+        EXPECT_LE(global[i], kGlobalPortsPerTsp);
+    }
+
+    // Intra-node links stay within one node; global links cross.
+    for (const auto &l : t.links()) {
+        if (l.cls == LinkClass::IntraNode)
+            EXPECT_EQ(t.nodeOf(l.a), t.nodeOf(l.b));
+        else
+            EXPECT_NE(t.nodeOf(l.a), t.nodeOf(l.b));
+    }
+}
+
+TEST_P(SingleLevelProps, NodePairConnectivityIsBalanced)
+{
+    const unsigned nodes = GetParam();
+    if (nodes < 2)
+        return;
+    const Topology t = Topology::makeSingleLevel(nodes);
+    // Count links per node pair: every pair connected; max/min spread
+    // bounded by the greedy second pass (at most a factor of ~2).
+    std::map<std::pair<unsigned, unsigned>, unsigned> pair_links;
+    for (const auto &l : t.links()) {
+        if (l.cls == LinkClass::IntraNode)
+            continue;
+        const unsigned na = t.nodeOf(l.a), nb = t.nodeOf(l.b);
+        ++pair_links[{std::min(na, nb), std::max(na, nb)}];
+    }
+    EXPECT_EQ(pair_links.size(), std::size_t(nodes) * (nodes - 1) / 2);
+    unsigned lo = ~0u, hi = 0;
+    for (const auto &[k, v] : pair_links) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GE(lo, 1u);
+    EXPECT_LE(hi, lo * 2 + 1);
+}
+
+TEST_P(SingleLevelProps, LinkAtPortIsInverseOfPortAssignment)
+{
+    const Topology t = Topology::makeSingleLevel(GetParam());
+    for (LinkId l = 0; l < t.links().size(); ++l) {
+        const Link &link = t.links()[l];
+        EXPECT_EQ(t.linkAtPort(link.a, link.portA), l);
+        EXPECT_EQ(t.linkAtPort(link.b, link.portB), l);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SingleLevelProps,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           33u));
+
+/** Property sweep over two-level (rack) system sizes. */
+class TwoLevelProps : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TwoLevelProps, StructuralInvariants)
+{
+    const unsigned racks = GetParam();
+    const Topology t = Topology::makeTwoLevel(racks);
+    EXPECT_EQ(t.numTsps(), racks * 72);
+    EXPECT_TRUE(t.connected());
+    EXPECT_LE(t.diameter(), 7u);
+
+    std::vector<unsigned> global(t.numTsps(), 0);
+    unsigned intra_rack = 0, inter_rack = 0;
+    for (const auto &l : t.links()) {
+        if (l.cls == LinkClass::IntraNode)
+            continue;
+        ++global[l.a];
+        ++global[l.b];
+        if (t.rackOf(l.a) == t.rackOf(l.b)) {
+            ++intra_rack;
+            EXPECT_EQ(l.cls, LinkClass::IntraRack);
+        } else {
+            ++inter_rack;
+            EXPECT_EQ(l.cls, LinkClass::InterRack);
+        }
+    }
+    for (unsigned g : global)
+        EXPECT_LE(g, kGlobalPortsPerTsp);
+    // 36 doubly-connected node pairs per rack.
+    EXPECT_EQ(intra_rack, racks * 72u);
+    // Every rack pair connected.
+    EXPECT_GE(inter_rack, racks * (racks - 1) / 2);
+}
+
+TEST_P(TwoLevelProps, EveryRackPairDirectlyLinked)
+{
+    const unsigned racks = GetParam();
+    const Topology t = Topology::makeTwoLevel(racks);
+    std::set<std::pair<unsigned, unsigned>> pairs;
+    for (const auto &l : t.links())
+        if (l.cls == LinkClass::InterRack) {
+            const unsigned ra = t.rackOf(l.a), rb = t.rackOf(l.b);
+            pairs.insert({std::min(ra, rb), std::max(ra, rb)});
+        }
+    EXPECT_EQ(pairs.size(), std::size_t(racks) * (racks - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoLevelProps,
+                         ::testing::Values(2u, 3u, 7u, 16u, 33u, 64u,
+                                           145u));
+
+/** Path enumeration properties over assorted topologies. */
+class PathProps : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PathProps, PathsAreSimpleAndConnectEndpoints)
+{
+    const Topology t = Topology::makeSingleLevel(GetParam());
+    const TspId src = 0;
+    const TspId dst = t.numTsps() - 1;
+    for (const auto &path : t.paths(src, dst, 1, 24)) {
+        ASSERT_FALSE(path.empty());
+        TspId at = src;
+        std::set<TspId> visited{src};
+        for (LinkId l : path) {
+            const Link &link = t.links()[l];
+            ASSERT_TRUE(link.a == at || link.b == at);
+            at = link.peer(at);
+            // Simple: no vertex revisited.
+            EXPECT_TRUE(visited.insert(at).second);
+        }
+        EXPECT_EQ(at, dst);
+        EXPECT_LE(path.size(), t.distance(src, dst) + 1);
+    }
+}
+
+TEST_P(PathProps, MinimalPathsHaveExactlyShortestLength)
+{
+    const Topology t = Topology::makeSingleLevel(GetParam());
+    const TspId dst = t.numTsps() / 2 + 1;
+    const unsigned d = t.distance(0, dst);
+    for (const auto &p : t.minimalPaths(0, dst, 16))
+        EXPECT_EQ(p.size(), d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PathProps,
+                         ::testing::Values(2u, 4u, 9u, 17u));
+
+TEST(NodeFailure, AnySingleNodeRemovalKeepsRestConnected)
+{
+    // Edge/node symmetry claim (§4.5), checked for every node.
+    for (unsigned victim = 0; victim < 4; ++victim) {
+        Topology t = Topology::makeSingleLevel(4);
+        t.disableNode(victim);
+        const TspId lo = victim * kTspsPerNode;
+        // BFS from a surviving TSP must reach all other survivors.
+        const TspId start = victim == 0 ? kTspsPerNode : 0;
+        unsigned reachable = 0;
+        for (TspId other = 0; other < t.numTsps(); ++other) {
+            if (other >= lo && other < lo + kTspsPerNode)
+                continue;
+            reachable += t.distance(start, other) != ~0u;
+        }
+        EXPECT_EQ(reachable, t.numTsps() - kTspsPerNode)
+            << "victim " << victim;
+    }
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+
+namespace tsm {
+namespace {
+
+TEST(DriftClock, NominalPeriod)
+{
+    DriftClock c;
+    EXPECT_NEAR(c.periodPs(), kCorePeriodPs, 1e-9);
+    EXPECT_EQ(c.cycleToTick(0), 0u);
+    // 900 cycles at 900 MHz = 1 us.
+    EXPECT_NEAR(double(c.cycleToTick(900)), 1e6, 1.0);
+}
+
+TEST(DriftClock, RoundTrip)
+{
+    DriftClock c(0.0, 12345);
+    for (Cycle cyc : {0ul, 1ul, 100ul, 999999ul}) {
+        const Tick t = c.cycleToTick(cyc);
+        EXPECT_EQ(c.tickToCycle(t), cyc);
+    }
+}
+
+TEST(DriftClock, PositivePpmRunsFast)
+{
+    DriftClock fast(100.0); // +100 ppm
+    DriftClock nominal(0.0);
+    EXPECT_LT(fast.periodPs(), nominal.periodPs());
+    // After 1 simulated second the fast clock counted ~100 us worth of
+    // extra cycles: 90,000 more at 900 MHz.
+    const Tick one_sec = kPsPerSec;
+    const auto extra = std::int64_t(fast.tickToCycle(one_sec)) -
+                       std::int64_t(nominal.tickToCycle(one_sec));
+    EXPECT_NEAR(double(extra), 90000.0, 10.0);
+}
+
+TEST(DriftClock, PhaseOffsetShiftsEdges)
+{
+    DriftClock c(0.0, 500);
+    EXPECT_EQ(c.cycleToTick(0), 500u);
+    EXPECT_EQ(c.tickToCycle(499), 0u);
+}
+
+TEST(DriftClock, NextEdgeAtOrAfter)
+{
+    DriftClock c;
+    const Tick mid = c.cycleToTick(10) + 1;
+    const Tick edge = c.nextEdge(mid);
+    EXPECT_GE(edge, mid);
+    EXPECT_EQ(c.tickToCycle(edge), 11u);
+    // Exactly on an edge stays put.
+    EXPECT_EQ(c.nextEdge(c.cycleToTick(10)), c.cycleToTick(10));
+}
+
+TEST(DriftClock, DriftAccumulatesLinearly)
+{
+    DriftClock a(50.0), b(-50.0);
+    // Relative drift 100 ppm: over 252 cycles (one HAC epoch) the
+    // skew is ~0.025 cycles; over ~10k epochs it exceeds a cycle.
+    const Tick t = Tick(10000 * kHacPeriodCycles * kCorePeriodPs);
+    const auto d = std::int64_t(a.tickToCycle(t)) -
+                   std::int64_t(b.tickToCycle(t));
+    EXPECT_GT(d, 200);
+}
+
+} // namespace
+} // namespace tsm

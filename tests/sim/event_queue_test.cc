@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tsm {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunWithLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Tick t = 1; t <= 5; ++t)
+        eq.schedule(t, [&] { ++fired; });
+    EXPECT_EQ(eq.run(3), 3u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(10, [&] {
+        eq.scheduleAfter(5, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, ResetDropsEverything)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.reset();
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueueDeath, PastScheduleAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+} // namespace
+} // namespace tsm

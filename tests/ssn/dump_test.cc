@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "ssn/dump.hh"
+
+namespace tsm {
+namespace {
+
+NetworkSchedule
+smallSchedule(const Topology &topo)
+{
+    SsnScheduler scheduler(topo);
+    TensorTransfer t;
+    t.flow = 3;
+    t.src = 0;
+    t.dst = 1;
+    t.vectors = 4;
+    return scheduler.schedule({t});
+}
+
+TEST(Dump, DisassemblyListsEveryInstruction)
+{
+    Program p;
+    p.emitCompute(10);
+    p.emitSend(2, 0, 9, 0).issueAt = 50;
+    p.emitHalt();
+    const std::string listing = disassemble(p);
+    EXPECT_NE(listing.find("COMPUTE"), std::string::npos);
+    EXPECT_NE(listing.find("SEND @50 port2 flow9:0"), std::string::npos);
+    EXPECT_NE(listing.find("HALT"), std::string::npos);
+    EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 3);
+}
+
+TEST(Dump, ScheduleTimelineSortedAndComplete)
+{
+    const Topology topo = Topology::makeNode();
+    const auto sched = smallSchedule(topo);
+    const std::string dump = dumpSchedule(sched, topo);
+    // One line per hop (4 single-hop vectors here).
+    EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 4);
+    EXPECT_NE(dump.find("flow3:0"), std::string::npos);
+    EXPECT_NE(dump.find("flow3:3"), std::string::npos);
+    // Sorted by departure: flow3:0 appears before flow3:3.
+    EXPECT_LT(dump.find("flow3:0"), dump.find("flow3:3"));
+}
+
+TEST(Dump, TimelineCapTruncates)
+{
+    const Topology topo = Topology::makeNode();
+    const auto sched = smallSchedule(topo);
+    const std::string dump = dumpSchedule(sched, topo, 2);
+    EXPECT_NE(dump.find("2 more windows"), std::string::npos);
+}
+
+TEST(Dump, FlowSummariesOnePerFlow)
+{
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    std::vector<TensorTransfer> ts;
+    for (FlowId f = 1; f <= 3; ++f) {
+        TensorTransfer t;
+        t.flow = f;
+        t.src = TspId(f - 1);
+        t.dst = TspId(f + 3);
+        t.vectors = 2;
+        ts.push_back(t);
+    }
+    const auto sched = scheduler.schedule(ts);
+    const std::string s = dumpFlowSummaries(sched);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+    EXPECT_NE(s.find("flow    1"), std::string::npos);
+}
+
+} // namespace
+} // namespace tsm

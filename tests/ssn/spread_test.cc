@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.hh"
+#include "ssn/spread.hh"
+#include "ssn/transfer.hh"
+
+namespace tsm {
+namespace {
+
+/** Path set of an intra-node transfer: 1 minimal + P two-hop paths. */
+std::vector<PathChoice>
+nodePaths(unsigned nonminimal)
+{
+    std::vector<PathChoice> paths;
+    PathChoice minimal;
+    minimal.latencyCycles = flightCycles(LinkClass::IntraNode);
+    paths.push_back(minimal);
+    for (unsigned p = 0; p < nonminimal; ++p) {
+        PathChoice two_hop;
+        two_hop.latencyCycles =
+            2 * flightCycles(LinkClass::IntraNode) + forwardCycles();
+        paths.push_back(two_hop);
+    }
+    return paths;
+}
+
+TEST(Spread, SmallMessagesStayMinimal)
+{
+    // Paper Fig 10: below ~8 KB there is no benefit from non-minimal
+    // routing, so everything rides the minimal path.
+    const auto paths = nodePaths(7);
+    for (std::uint32_t vectors : {1u, 4u, 16u}) { // up to 5 KB
+        const SpreadPlan plan = spreadVectors(vectors, paths);
+        EXPECT_EQ(plan.pathsUsed(), 1u) << vectors << " vectors";
+        EXPECT_EQ(plan.vectorsPerPath[0], vectors);
+    }
+}
+
+TEST(Spread, LargeMessagesUseAllPaths)
+{
+    const auto paths = nodePaths(7);
+    const SpreadPlan plan = spreadVectors(1000, paths); // 320 KB
+    EXPECT_EQ(plan.pathsUsed(), 8u);
+    // The minimal path carries the most vectors.
+    for (std::size_t p = 1; p < paths.size(); ++p)
+        EXPECT_GE(plan.vectorsPerPath[0], plan.vectorsPerPath[p]);
+}
+
+TEST(Spread, CrossoverNearEightKilobytes)
+{
+    // The crossover point emerges from serialization (24 cycles per
+    // vector) vs the extra hop (~469 cycles): spreading starts to pay
+    // once the minimal path's queue exceeds the detour latency —
+    // ~20 vectors, i.e. ~6.4-8 KB (Fig 10 reports 8 KB).
+    const auto paths = nodePaths(7);
+    std::uint32_t first_spread = 0;
+    for (std::uint32_t v = 1; v < 100; ++v) {
+        if (spreadVectors(v, paths).pathsUsed() > 1) {
+            first_spread = v;
+            break;
+        }
+    }
+    const Bytes crossover_bytes = Bytes(first_spread) * kVectorBytes;
+    EXPECT_GE(crossover_bytes, 4 * kKiB);
+    EXPECT_LE(crossover_bytes, 12 * kKiB);
+}
+
+TEST(Spread, MorePathsHelpMoreForLargeMessages)
+{
+    // Fig 10's second axis: with bigger messages, more non-minimal
+    // paths yield bigger speedups.
+    const std::uint32_t vectors = 4096; // 1.3 MB
+    const Cycle lat1 =
+        spreadVectors(vectors, nodePaths(1)).completionCycles;
+    const Cycle lat3 =
+        spreadVectors(vectors, nodePaths(3)).completionCycles;
+    const Cycle lat7 =
+        spreadVectors(vectors, nodePaths(7)).completionCycles;
+    EXPECT_LT(lat7, lat3);
+    EXPECT_LT(lat3, lat1);
+    // With 8 paths the completion approaches 1/8 of minimal-only.
+    const Cycle minimal_only =
+        pathCompletionCycles(vectors, nodePaths(0)[0].latencyCycles);
+    EXPECT_LT(double(lat7), 0.20 * double(minimal_only));
+}
+
+TEST(Spread, CompletionModelMatchesWaterFill)
+{
+    // For two equal paths the optimal split is even.
+    std::vector<PathChoice> two;
+    two.push_back({{}, 100});
+    two.push_back({{}, 100});
+    const SpreadPlan plan = spreadVectors(10, two);
+    EXPECT_EQ(plan.vectorsPerPath[0], 5u);
+    EXPECT_EQ(plan.vectorsPerPath[1], 5u);
+    EXPECT_EQ(plan.completionCycles, pathCompletionCycles(5, 100));
+}
+
+TEST(Spread, DeterministicTieBreaking)
+{
+    const auto paths = nodePaths(7);
+    const SpreadPlan a = spreadVectors(1234, paths);
+    const SpreadPlan b = spreadVectors(1234, paths);
+    EXPECT_EQ(a.vectorsPerPath, b.vectorsPerPath);
+}
+
+TEST(Spread, PathCompletionFormula)
+{
+    EXPECT_EQ(pathCompletionCycles(0, 100), 0u);
+    EXPECT_EQ(pathCompletionCycles(1, 100), 100u);
+    EXPECT_EQ(pathCompletionCycles(10, 100), 9 * 24 + 100u);
+}
+
+TEST(Spread, ToPathChoicesSortsMinimalFirst)
+{
+    const Topology topo = Topology::makeNode();
+    const auto choices = toPathChoices(topo, topo.paths(0, 1, 1, 16));
+    ASSERT_GE(choices.size(), 2u);
+    EXPECT_EQ(choices[0].path.size(), 1u);
+    EXPECT_EQ(choices[0].latencyCycles, flightCycles(LinkClass::IntraNode));
+    EXPECT_EQ(choices[1].latencyCycles,
+              2 * flightCycles(LinkClass::IntraNode) + forwardCycles());
+}
+
+} // namespace
+} // namespace tsm

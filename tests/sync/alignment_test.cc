@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "sync/program_alignment.hh"
+
+namespace tsm {
+namespace {
+
+/** Build chips over a topology with identical clocks (HACs aligned). */
+struct System
+{
+    explicit System(Topology t) : topo(std::move(t)), net(topo, eq, Rng(3))
+    {
+        for (TspId i = 0; i < topo.numTsps(); ++i) {
+            chips.push_back(std::make_unique<TspChip>(i, net, DriftClock()));
+            raw.push_back(chips.back().get());
+        }
+    }
+
+    Topology topo;
+    EventQueue eq;
+    Network net;
+    std::vector<std::unique_ptr<TspChip>> chips;
+    std::vector<TspChip *> raw;
+};
+
+/** Launch the alignment plan with a Halt payload; return halt cycles. */
+std::vector<Cycle>
+launchAndCollect(System &sys)
+{
+    const SyncTree tree = SyncTree::build(sys.topo, 0);
+    const AlignmentPlan plan = AlignmentPlan::build(sys.topo, tree);
+
+    Program payload;
+    payload.emitHalt();
+    for (TspId t = 0; t < sys.topo.numTsps(); ++t) {
+        sys.chips[t]->load(plan.assemble(t, payload));
+        sys.chips[t]->start(0);
+    }
+    sys.eq.run();
+
+    std::vector<Cycle> halt_cycles;
+    for (TspId t = 0; t < sys.topo.numTsps(); ++t) {
+        EXPECT_TRUE(sys.chips[t]->halted()) << "tsp " << t;
+        halt_cycles.push_back(sys.chips[t]->clock().tickToCycle(
+            sys.chips[t]->stats().haltTick));
+    }
+    return halt_cycles;
+}
+
+TEST(ProgramAlignment, NodePayloadsStartSimultaneously)
+{
+    System sys(Topology::makeNode());
+    const auto halts = launchAndCollect(sys);
+    for (Cycle h : halts)
+        EXPECT_EQ(h, halts[0]);
+}
+
+TEST(ProgramAlignment, StartEpochMatchesTreeHeightFormula)
+{
+    const Topology topo = Topology::makeNode();
+    const SyncTree tree = SyncTree::build(topo, 0);
+    const AlignmentPlan plan = AlignmentPlan::build(topo, tree);
+    // One hop, L < period: overhead floor(L/P)+1 = 1 epoch; root has
+    // the token at epoch 1, children at 2, start at 3.
+    EXPECT_EQ(plan.arrivalEpoch(0), 1u);
+    EXPECT_EQ(plan.arrivalEpoch(5), 2u);
+    EXPECT_EQ(plan.startEpoch(), 3u);
+}
+
+TEST(ProgramAlignment, TwoNodeSystemAligns)
+{
+    System sys(Topology::makeSingleLevel(2));
+    const auto halts = launchAndCollect(sys);
+    for (Cycle h : halts)
+        EXPECT_EQ(h, halts[0]);
+}
+
+TEST(ProgramAlignment, FourNodeSystemAligns)
+{
+    System sys(Topology::makeSingleLevel(4));
+    const auto halts = launchAndCollect(sys);
+    for (Cycle h : halts)
+        EXPECT_EQ(h, halts[0]);
+    // Start epoch grows with tree height: at least depth 2 + 2.
+    const SyncTree tree = SyncTree::build(sys.topo, 0);
+    EXPECT_GE(AlignmentPlan::build(sys.topo, tree).startEpoch(),
+              tree.height() + 2);
+}
+
+TEST(ProgramAlignment, PayloadSeesSynchronizedStreams)
+{
+    // After alignment, chip 0 sends one vector to chip 1 with a
+    // statically scheduled exchange; correct delivery proves the
+    // common time base is real.
+    System sys(Topology::makeNode());
+    const SyncTree tree = SyncTree::build(sys.topo, 0);
+    const AlignmentPlan plan = AlignmentPlan::build(sys.topo, tree);
+    const Cycle t0 = (plan.startEpoch() * kHacPeriodCycles) +
+                     kNotifyLatency; // payload begins here on all chips
+
+    const LinkId link = sys.topo.linksBetween(0, 1)[0];
+    const unsigned p01 = sys.topo.links()[link].portAt(0);
+    const unsigned p10 = sys.topo.links()[link].portAt(1);
+
+    sys.chips[0]->setStream(0, makeVec(Vec(3.25f)));
+    Program tx;
+    tx.emitSend(p01, 0, 77, 0).issueAt = t0 + 10;
+    tx.emitHalt();
+
+    Program rx;
+    rx.emitRecv(p10, 4, 77, 0).issueAt = t0 + 10 + 500; // hop ~469 cyc
+    rx.emitHalt();
+
+    Program idle;
+    idle.emitHalt();
+
+    for (TspId t = 0; t < sys.topo.numTsps(); ++t) {
+        const Program &payload = t == 0 ? tx : (t == 1 ? rx : idle);
+        sys.chips[t]->load(plan.assemble(t, payload));
+        sys.chips[t]->start(0);
+    }
+    sys.eq.run();
+    ASSERT_TRUE(sys.chips[1]->stream(4));
+    EXPECT_EQ((*sys.chips[1]->stream(4))[0], 3.25f);
+}
+
+TEST(RuntimeDeskewProperty, PeriodicResyncBoundsSkewUnderDrift)
+{
+    // Two chips with +/-40 ppm drift run a long computation broken
+    // into segments separated by RUNTIME_DESKEW. With the HAC aligner
+    // active, accumulated skew stays bounded by a few cycles at every
+    // segment boundary; without it, it would grow without bound
+    // (~40 us per second per 40 ppm).
+    EventQueue eq;
+    Topology topo = Topology::makeNode();
+    Network net(topo, eq, Rng(17));
+    TspChip parent(0, net, DriftClock(0.0));
+    TspChip child(1, net, DriftClock(40.0));
+    const LinkId link = topo.linksBetween(0, 1)[0];
+    const double latency =
+        double(linkPropagationPs(LinkClass::IntraNode)) / kCorePeriodPs;
+    HacAligner aligner(parent, child, link, latency);
+    aligner.start();
+
+    // 20 segments of ~100k cycles each, far beyond one drift cycle.
+    Program prog;
+    for (int seg = 0; seg < 20; ++seg) {
+        prog.emitCompute(100000);
+        auto &rd = prog.emit(Op::RuntimeDeskew);
+        rd.imm = 64;
+    }
+    prog.emitHalt();
+    Program prog2 = prog;
+
+    // Stop the (self-rescheduling) aligner once both programs halt so
+    // the event queue can drain.
+    int halted = 0;
+    const auto on_halt = [&] {
+        if (++halted == 2)
+            aligner.stop();
+    };
+    parent.onHalt(on_halt);
+    child.onHalt(on_halt);
+
+    parent.load(std::move(prog));
+    child.load(std::move(prog2));
+    parent.start(0);
+    child.start(0);
+    eq.run();
+
+    ASSERT_TRUE(parent.halted() && child.halted());
+    // The child stalls longer in RUNTIME_DESKEW (its clock runs fast),
+    // so wall-clock completion stays within one epoch of the parent.
+    const auto skew =
+        std::llabs(std::int64_t(parent.stats().haltTick) -
+                   std::int64_t(child.stats().haltTick));
+    EXPECT_LT(skew, std::int64_t(kHacPeriodCycles * kCorePeriodPs));
+    EXPECT_GT(child.stats().deskewStallCycles,
+              parent.stats().deskewStallCycles);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "sync/link_characterizer.hh"
+
+namespace tsm {
+namespace {
+
+class CharFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        topo = Topology::makeNode();
+        net = std::make_unique<Network>(topo, eq, Rng(42),
+                                        /*jitter=*/true);
+        for (TspId t = 0; t < topo.numTsps(); ++t)
+            chips.push_back(std::make_unique<TspChip>(t, *net, DriftClock()));
+    }
+
+    Topology topo;
+    EventQueue eq;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<TspChip>> chips;
+};
+
+TEST_F(CharFixture, EstimatesMatchConfiguredLatency)
+{
+    const LinkId link = topo.linksBetween(0, 1)[0];
+    LinkCharacterizer lc(*chips[0], *chips[1], link);
+    lc.start(10000);
+    eq.run();
+    ASSERT_TRUE(lc.done());
+    const auto &st = lc.latencyCycles();
+    EXPECT_EQ(st.count(), 10000u);
+    // Nominal intra-node one-way latency is 216.87 core cycles
+    // (Table 2); estimate must land within a cycle of it.
+    const double nominal =
+        double(linkPropagationPs(LinkClass::IntraNode)) / kCorePeriodPs;
+    EXPECT_NEAR(st.mean(), nominal, 1.0);
+    // Sample std ~2.8 cycles (Table 2).
+    EXPECT_NEAR(st.stddev(), 2.8, 0.8);
+    // Range is bounded by the 4-sigma jitter clip.
+    EXPECT_GT(st.min(), nominal - 14.0);
+    EXPECT_LT(st.max(), nominal + 14.0);
+}
+
+TEST_F(CharFixture, WithoutJitterOnlyQuantizationNoiseRemains)
+{
+    net->setJitterEnabled(false);
+    const LinkId link = topo.linksBetween(2, 3)[0];
+    LinkCharacterizer lc(*chips[2], *chips[3], link);
+    lc.start(100);
+    eq.run();
+    // The HAC reads integer cycles, so even a perfectly stable link
+    // shows sub-cycle quantization noise — but no more than that.
+    EXPECT_LT(lc.latencyCycles().stddev(), 0.5);
+    const double nominal =
+        double(linkPropagationPs(LinkClass::IntraNode)) / kCorePeriodPs;
+    EXPECT_NEAR(lc.latencyCycles().mean(), nominal, 1.0);
+}
+
+TEST_F(CharFixture, AllSevenIntraNodeLinksCharacterize)
+{
+    // The Table 2 experiment: all 7 links of TSP0 within the node.
+    for (TspId peer = 1; peer < 8; ++peer) {
+        const LinkId link = topo.linksBetween(0, peer)[0];
+        LinkCharacterizer lc(*chips[0], *chips[peer], link);
+        lc.start(2000);
+        eq.run();
+        EXPECT_TRUE(lc.done());
+        EXPECT_NEAR(lc.latencyCycles().mean(), 216.9, 2.0)
+            << "link to peer " << peer;
+    }
+}
+
+TEST_F(CharFixture, DeterministicGivenSeed)
+{
+    auto measure = [&](std::uint64_t seed) {
+        EventQueue eq2;
+        Topology t2 = Topology::makeNode();
+        Network n2(t2, eq2, Rng(seed), true);
+        TspChip a(0, n2, DriftClock());
+        TspChip b(1, n2, DriftClock());
+        LinkCharacterizer lc(a, b, t2.linksBetween(0, 1)[0]);
+        lc.start(500);
+        eq2.run();
+        return lc.latencyCycles().mean();
+    };
+    EXPECT_EQ(measure(7), measure(7));
+    EXPECT_NE(measure(7), measure(8));
+}
+
+} // namespace
+} // namespace tsm

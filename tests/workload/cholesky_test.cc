@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "workload/cholesky.hh"
+
+namespace tsm {
+namespace {
+
+/** Random SPD matrix: A = B Bt + n I. */
+std::vector<float>
+randomSpd(unsigned n, Rng &rng)
+{
+    std::vector<float> b(std::size_t(n) * n);
+    for (auto &x : b)
+        x = float(rng.uniform(-1.0, 1.0));
+    std::vector<float> a(std::size_t(n) * n, 0.0f);
+    for (unsigned r = 0; r < n; ++r)
+        for (unsigned c = 0; c < n; ++c) {
+            for (unsigned k = 0; k < n; ++k)
+                a[r * n + c] += b[r * n + k] * b[c * n + k];
+            if (r == c)
+                a[r * n + c] += float(n);
+        }
+    return a;
+}
+
+TEST(CholeskyKernel, FactorsIdentity)
+{
+    std::vector<float> a(16, 0.0f);
+    for (unsigned i = 0; i < 4; ++i)
+        a[i * 4 + i] = 1.0f;
+    ASSERT_TRUE(choleskyFactor(a, 4));
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_NEAR(a[i * 4 + i], 1.0f, 1e-5f);
+}
+
+TEST(CholeskyKernel, KnownSmallFactorization)
+{
+    // A = [[4, 2], [2, 5]] -> L = [[2, 0], [1, 2]].
+    std::vector<float> a{4, 2, 2, 5};
+    ASSERT_TRUE(choleskyFactor(a, 2));
+    EXPECT_NEAR(a[0], 2.0f, 1e-4f);
+    EXPECT_NEAR(a[1], 0.0f, 1e-6f);
+    EXPECT_NEAR(a[2], 1.0f, 1e-4f);
+    EXPECT_NEAR(a[3], 2.0f, 1e-4f);
+}
+
+TEST(CholeskyKernel, ResidualSmallOnRandomSpd)
+{
+    Rng rng(31);
+    for (unsigned n : {8u, 16u, 32u, 64u}) {
+        const auto original = randomSpd(n, rng);
+        auto a = original;
+        ASSERT_TRUE(choleskyFactor(a, n)) << "n=" << n;
+        // The fast-rsqrt approximation costs a few ulps per column;
+        // the residual stays tiny relative to the diagonal scale ~n.
+        EXPECT_LT(choleskyResidual(original, a, n), 0.02f * float(n))
+            << "n=" << n;
+    }
+}
+
+TEST(CholeskyKernel, RejectsNonSpd)
+{
+    std::vector<float> a{1, 2, 2, 1}; // indefinite
+    EXPECT_FALSE(choleskyFactor(a, 2));
+}
+
+TEST(CholeskyTiming, StrongScalingMatchesPaper)
+{
+    // Paper Fig 19(c): net speedups ~1.2x, 1.4x, 1.5x on 2/4/8 TSPs
+    // for a fixed problem — limited by the loop-carried dependence.
+    const std::uint64_t p = 16000;
+    const double t1 = choleskyEstimate(p, 1).seconds;
+    const double s2 = t1 / choleskyEstimate(p, 2).seconds;
+    const double s4 = t1 / choleskyEstimate(p, 4).seconds;
+    const double s8 = t1 / choleskyEstimate(p, 8).seconds;
+    EXPECT_NEAR(s2, 1.2, 0.1);
+    EXPECT_NEAR(s4, 1.4, 0.1);
+    EXPECT_NEAR(s8, 1.5, 0.1);
+}
+
+TEST(CholeskyTiming, EightTspsLandNearPaperTflops)
+{
+    // Paper: 22.4 fp16 TFLOPs on 8 TSPs.
+    const auto est = choleskyEstimate(16000, 8);
+    EXPECT_GT(est.tflops, 15.0);
+    EXPECT_LT(est.tflops, 30.0);
+}
+
+TEST(CholeskyTiming, TimeGrowsSuperlinearly)
+{
+    const double t1 = choleskyEstimate(4000, 4).seconds;
+    const double t2 = choleskyEstimate(8000, 4).seconds;
+    // Between linear (serial term) and cubic (update term).
+    EXPECT_GT(t2 / t1, 1.9);
+    EXPECT_LT(t2 / t1, 8.5);
+}
+
+TEST(CholeskyTiming, SmallProblemsGainNothingFromMoreTsps)
+{
+    // At small p the loop-carried serial chain dominates and the
+    // added broadcast cost outweighs the shared update: parallelism
+    // does not pay — the reason the paper calls Cholesky "difficult
+    // to efficiently parallelize".
+    const double t1 = choleskyEstimate(2000, 1).seconds;
+    const double t8 = choleskyEstimate(2000, 8).seconds;
+    EXPECT_GE(t8, 0.95 * t1);
+}
+
+TEST(CholeskyTiming, LargeProblemsScaleMonotonically)
+{
+    double prev = 1e30;
+    for (unsigned d : {1u, 2u, 4u, 8u}) {
+        const double t = choleskyEstimate(40000, d).seconds;
+        EXPECT_LE(t, prev * 1.001) << "d=" << d;
+        prev = t;
+    }
+}
+
+} // namespace
+} // namespace tsm

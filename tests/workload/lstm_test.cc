@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "workload/lstm.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Lstm, FlopsFormula)
+{
+    LstmConfig c;
+    c.layers = 1;
+    c.hidden = 1024;
+    EXPECT_DOUBLE_EQ(c.flopsPerStep(), 2.0 * 2 * 1024 * 4096);
+}
+
+TEST(Lstm, TspBeatsGpuOnBatchOneDecode)
+{
+    // The headline of the extension: latency-bound recurrent decode
+    // is where deterministic skinny-matvec hardware wins big.
+    const LstmConfig config;
+    const TspCostModel cost;
+    const auto tsp = lstmOnTsp(config, 4, cost);
+    const auto gpu = lstmOnGpu(config, {});
+    EXPECT_GT(tsp.tokensPerSec, 10.0 * gpu.tokensPerSec);
+}
+
+TEST(Lstm, PipeliningLayersHelpsUntilLayersRunOut)
+{
+    const LstmConfig config; // 4 layers
+    const TspCostModel cost;
+    const auto t1 = lstmOnTsp(config, 1, cost);
+    const auto t4 = lstmOnTsp(config, 4, cost);
+    const auto t8 = lstmOnTsp(config, 8, cost);
+    EXPECT_GT(t4.tokensPerSec, 3.0 * t1.tokensPerSec);
+    // Only 4 layers: the 5th..8th chips are idle.
+    EXPECT_NEAR(t8.tokensPerSec, t4.tokensPerSec,
+                0.05 * t4.tokensPerSec);
+}
+
+TEST(Lstm, GpuUtilizationIsTiny)
+{
+    // M=1 against 128-row tiles: ~1/128th useful work at best.
+    const auto gpu = lstmOnGpu(LstmConfig{}, {});
+    EXPECT_LT(gpu.utilization, 0.02);
+}
+
+TEST(Lstm, TspUtilizationModestButFarHigher)
+{
+    const TspCostModel cost;
+    const auto tsp = lstmOnTsp(LstmConfig{}, 4, cost);
+    const auto gpu = lstmOnGpu(LstmConfig{}, {});
+    EXPECT_GT(tsp.utilization, 5.0 * gpu.utilization);
+}
+
+TEST(Lstm, ThroughputScalesWithTimesteps)
+{
+    const TspCostModel cost;
+    LstmConfig short_seq;
+    short_seq.timesteps = 16;
+    LstmConfig long_seq;
+    long_seq.timesteps = 1024;
+    // Longer decode amortizes pipeline fill: tokens/s improves.
+    EXPECT_GT(lstmOnTsp(long_seq, 4, cost).tokensPerSec,
+              lstmOnTsp(short_seq, 4, cost).tokensPerSec);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "workload/matmul.hh"
+
+namespace tsm {
+namespace {
+
+TEST(DistMatmul, SingleTspBaseline)
+{
+    TspCostModel cost;
+    DistMatmulConfig cfg;
+    cfg.colSplits = 1;
+    cfg.rowSplits = 1;
+    const auto r = planDistributedMatmul(cfg, cost);
+    EXPECT_EQ(r.tsps, 1u);
+    EXPECT_EQ(r.reduceCycles, 0u);
+    EXPECT_GT(r.utilization, 0.7);
+    EXPECT_LT(r.utilization, 1.01);
+}
+
+TEST(DistMatmul, LatencyDropsWithMoreRowSplits)
+{
+    // Fig 14 left: latency reduces as row splits add TSPs.
+    TspCostModel cost;
+    double prev = 1e9;
+    for (unsigned r = 1; r <= 13; ++r) {
+        DistMatmulConfig cfg;
+        cfg.rowSplits = r;
+        const auto res = planDistributedMatmul(cfg, cost);
+        EXPECT_EQ(res.tsps, 8 * r);
+        EXPECT_LT(res.seconds, prev) << "rowSplits=" << r;
+        prev = res.seconds;
+    }
+}
+
+TEST(DistMatmul, ThroughputGrowsUtilizationShrinks)
+{
+    // Fig 14 right: adding TSPs grows absolute TFLOPs but the
+    // reduction overhead erodes per-TSP utilization.
+    TspCostModel cost;
+    DistMatmulConfig one;
+    const auto r1 = planDistributedMatmul(one, cost);
+    DistMatmulConfig many;
+    many.rowSplits = 13;
+    const auto r13 = planDistributedMatmul(many, cost);
+    EXPECT_GT(r13.tflops, r1.tflops);
+    EXPECT_LT(r13.utilization, r1.utilization);
+}
+
+TEST(DistMatmul, EightColSplitsHitPaperLatencyBand)
+{
+    // The paper's Fig 14 operation at 8 TSPs completes in a few
+    // hundred microseconds; at 104 TSPs in tens of microseconds.
+    TspCostModel cost;
+    DistMatmulConfig base;
+    const auto r8 = planDistributedMatmul(base, cost);
+    EXPECT_GT(r8.seconds, 100e-6);
+    EXPECT_LT(r8.seconds, 1e-3);
+    DistMatmulConfig big;
+    big.rowSplits = 13;
+    const auto r104 = planDistributedMatmul(big, cost);
+    EXPECT_LT(r104.seconds, 100e-6);
+}
+
+TEST(ClusterMatmul, ThroughputScalesWithClusterSize)
+{
+    // Fig 15: same N, larger cluster -> proportionally more TFLOPs.
+    // N chosen so the column shards stay tile-aligned (192000/100,
+    // /200, /300 are all multiples of 320) to isolate scaling from
+    // tile-quantization effects.
+    TspCostModel cost;
+    const std::uint64_t n = 192000;
+    const auto c100 = clusterColSplitMatmul(n, 100, cost);
+    const auto c200 = clusterColSplitMatmul(n, 200, cost);
+    const auto c300 = clusterColSplitMatmul(n, 300, cost);
+    EXPECT_NEAR(c200.tflops / c100.tflops, 2.0, 0.2);
+    EXPECT_NEAR(c300.tflops / c100.tflops, 3.0, 0.3);
+}
+
+TEST(ClusterMatmul, ThroughputGrowsWithProblemSize)
+{
+    TspCostModel cost;
+    const auto small = clusterColSplitMatmul(50000, 300, cost);
+    const auto large = clusterColSplitMatmul(650000, 300, cost);
+    EXPECT_GE(large.tflops, small.tflops);
+    // The largest configuration realizes tens of petaflops — far
+    // beyond the paper's 2.8 PF GPU-cluster reference.
+    EXPECT_GT(large.tflops, 10000.0); // > 10 PF in TFLOP units
+}
+
+TEST(ClusterMatmul, StreamingOrderKeepsPcieFeasible)
+{
+    // Paper §5.2: row-major traversal keeps the demand well under
+    // PCIe Gen4 x16; the model should not be PCIe-bound at these
+    // shapes.
+    TspCostModel cost;
+    const auto r = clusterColSplitMatmul(100000, 100, cost);
+    EXPECT_FALSE(r.pcieBound);
+}
+
+TEST(ClusterMatmul, TinyShardsGoPcieBound)
+{
+    // Degenerate: enormous cluster on a small matrix -> shards so
+    // small that streaming dominates.
+    TspCostModel cost;
+    cost.pcieBytesPerSec = 1e6; // cripple the host link
+    const auto r = clusterColSplitMatmul(10000, 10, cost);
+    EXPECT_TRUE(r.pcieBound);
+}
+
+} // namespace
+} // namespace tsm

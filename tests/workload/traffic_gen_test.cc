@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ssn/scheduler.hh"
+#include "workload/traffic_gen.hh"
+
+namespace tsm {
+namespace {
+
+class PatternSweep : public ::testing::TestWithParam<TrafficPattern>
+{
+};
+
+TEST_P(PatternSweep, WellFormedAndSchedulable)
+{
+    const Topology topo = Topology::makeNode();
+    const auto transfers = generateTraffic(topo, GetParam(), 16, 3);
+    ASSERT_FALSE(transfers.empty());
+    std::set<FlowId> flows;
+    for (const auto &t : transfers) {
+        EXPECT_NE(t.src, t.dst);
+        EXPECT_LT(t.src, topo.numTsps());
+        EXPECT_LT(t.dst, topo.numTsps());
+        EXPECT_EQ(t.vectors, 16u);
+        EXPECT_TRUE(flows.insert(t.flow).second);
+    }
+    // Every pattern schedules conflict-free.
+    SsnScheduler scheduler(topo);
+    const auto sched = scheduler.schedule(transfers);
+    const auto report = validateSchedule(sched, topo);
+    EXPECT_TRUE(report.ok) << report.firstViolation;
+}
+
+TEST_P(PatternSweep, DeterministicGivenSeed)
+{
+    const Topology topo = Topology::makeNode();
+    const auto a = generateTraffic(topo, GetParam(), 8, 42);
+    const auto b = generateTraffic(topo, GetParam(), 8, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].src, b[i].src);
+        EXPECT_EQ(a[i].dst, b[i].dst);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PatternSweep,
+                         ::testing::ValuesIn(allTrafficPatterns()),
+                         [](const auto &info) {
+                             std::string name =
+                                 trafficPatternName(info.param);
+                             for (auto &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+TEST(TrafficGen, PermutationIsOneToOne)
+{
+    const Topology topo = Topology::makeSingleLevel(2);
+    const auto transfers =
+        generateTraffic(topo, TrafficPattern::Permutation, 4, 9);
+    EXPECT_EQ(transfers.size(), topo.numTsps());
+    std::set<TspId> dsts;
+    for (const auto &t : transfers)
+        EXPECT_TRUE(dsts.insert(t.dst).second);
+}
+
+TEST(TrafficGen, AllToOneTargetsZero)
+{
+    const Topology topo = Topology::makeNode();
+    for (const auto &t :
+         generateTraffic(topo, TrafficPattern::AllToOne, 4))
+        EXPECT_EQ(t.dst, 0u);
+}
+
+TEST(TrafficGen, NearestNeighborChains)
+{
+    const Topology topo = Topology::makeNode();
+    const auto transfers =
+        generateTraffic(topo, TrafficPattern::NearestNeighbor, 4);
+    for (const auto &t : transfers)
+        EXPECT_EQ(t.dst, (t.src + 1) % topo.numTsps());
+}
+
+TEST(TrafficGen, BitComplementReverses)
+{
+    const Topology topo = Topology::makeNode();
+    const auto transfers =
+        generateTraffic(topo, TrafficPattern::BitComplement, 4);
+    for (const auto &t : transfers)
+        EXPECT_EQ(t.dst, topo.numTsps() - 1 - t.src);
+}
+
+TEST(TrafficGen, IncastIsSlowestUniformIsFast)
+{
+    // Network folklore reproduced: incast serializes on the
+    // destination, uniform/permutation spread evenly.
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    const auto incast = scheduler.schedule(
+        generateTraffic(topo, TrafficPattern::AllToOne, 64));
+    const auto perm = scheduler.schedule(
+        generateTraffic(topo, TrafficPattern::Permutation, 64, 5));
+    EXPECT_GT(incast.makespan, perm.makespan);
+}
+
+} // namespace
+} // namespace tsm
