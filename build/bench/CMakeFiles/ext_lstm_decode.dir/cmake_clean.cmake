@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lstm_decode.dir/ext_lstm_decode.cc.o"
+  "CMakeFiles/ext_lstm_decode.dir/ext_lstm_decode.cc.o.d"
+  "ext_lstm_decode"
+  "ext_lstm_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lstm_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scaling_duality.dir/ext_scaling_duality.cc.o"
+  "CMakeFiles/ext_scaling_duality.dir/ext_scaling_duality.cc.o.d"
+  "ext_scaling_duality"
+  "ext_scaling_duality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaling_duality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bandwidth_profile.dir/fig02_bandwidth_profile.cc.o"
+  "CMakeFiles/fig02_bandwidth_profile.dir/fig02_bandwidth_profile.cc.o.d"
+  "fig02_bandwidth_profile"
+  "fig02_bandwidth_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bandwidth_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

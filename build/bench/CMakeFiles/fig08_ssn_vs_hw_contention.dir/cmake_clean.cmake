@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_ssn_vs_hw_contention.dir/fig08_ssn_vs_hw_contention.cc.o"
+  "CMakeFiles/fig08_ssn_vs_hw_contention.dir/fig08_ssn_vs_hw_contention.cc.o.d"
+  "fig08_ssn_vs_hw_contention"
+  "fig08_ssn_vs_hw_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ssn_vs_hw_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

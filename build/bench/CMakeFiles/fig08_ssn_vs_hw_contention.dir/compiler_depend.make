@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_ssn_vs_hw_contention.
+# This may be replaced when dependencies are built.

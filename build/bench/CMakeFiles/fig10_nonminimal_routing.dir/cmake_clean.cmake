@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nonminimal_routing.dir/fig10_nonminimal_routing.cc.o"
+  "CMakeFiles/fig10_nonminimal_routing.dir/fig10_nonminimal_routing.cc.o.d"
+  "fig10_nonminimal_routing"
+  "fig10_nonminimal_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nonminimal_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_distributed_matmul.dir/fig14_distributed_matmul.cc.o"
+  "CMakeFiles/fig14_distributed_matmul.dir/fig14_distributed_matmul.cc.o.d"
+  "fig14_distributed_matmul"
+  "fig14_distributed_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_distributed_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_matmul_clusters.dir/fig15_matmul_clusters.cc.o"
+  "CMakeFiles/fig15_matmul_clusters.dir/fig15_matmul_clusters.cc.o.d"
+  "fig15_matmul_clusters"
+  "fig15_matmul_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_matmul_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_allreduce.dir/fig16_allreduce.cc.o"
+  "CMakeFiles/fig16_allreduce.dir/fig16_allreduce.cc.o.d"
+  "fig16_allreduce"
+  "fig16_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

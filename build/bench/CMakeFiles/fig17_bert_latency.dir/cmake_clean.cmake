@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_bert_latency.dir/fig17_bert_latency.cc.o"
+  "CMakeFiles/fig17_bert_latency.dir/fig17_bert_latency.cc.o.d"
+  "fig17_bert_latency"
+  "fig17_bert_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_bert_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

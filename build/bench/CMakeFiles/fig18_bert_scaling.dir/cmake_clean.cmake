@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_bert_scaling.dir/fig18_bert_scaling.cc.o"
+  "CMakeFiles/fig18_bert_scaling.dir/fig18_bert_scaling.cc.o.d"
+  "fig18_bert_scaling"
+  "fig18_bert_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_bert_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

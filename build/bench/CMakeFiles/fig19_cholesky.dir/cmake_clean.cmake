@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cholesky.dir/fig19_cholesky.cc.o"
+  "CMakeFiles/fig19_cholesky.dir/fig19_cholesky.cc.o.d"
+  "fig19_cholesky"
+  "fig19_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

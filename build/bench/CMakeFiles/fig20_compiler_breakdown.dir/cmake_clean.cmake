@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_compiler_breakdown.dir/fig20_compiler_breakdown.cc.o"
+  "CMakeFiles/fig20_compiler_breakdown.dir/fig20_compiler_breakdown.cc.o.d"
+  "fig20_compiler_breakdown"
+  "fig20_compiler_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_compiler_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

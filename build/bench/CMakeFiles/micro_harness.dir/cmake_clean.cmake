@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_harness.dir/micro_harness.cc.o"
+  "CMakeFiles/micro_harness.dir/micro_harness.cc.o.d"
+  "micro_harness"
+  "micro_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hac_characterization.dir/table2_hac_characterization.cc.o"
+  "CMakeFiles/table2_hac_characterization.dir/table2_hac_characterization.cc.o.d"
+  "table2_hac_characterization"
+  "table2_hac_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hac_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

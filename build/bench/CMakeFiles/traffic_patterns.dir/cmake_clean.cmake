@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_patterns.dir/traffic_patterns.cc.o"
+  "CMakeFiles/traffic_patterns.dir/traffic_patterns.cc.o.d"
+  "traffic_patterns"
+  "traffic_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

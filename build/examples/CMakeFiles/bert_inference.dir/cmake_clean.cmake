@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_inference.dir/bert_inference.cpp.o"
+  "CMakeFiles/bert_inference.dir/bert_inference.cpp.o.d"
+  "bert_inference"
+  "bert_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_matmul.dir/distributed_matmul.cpp.o"
+  "CMakeFiles/distributed_matmul.dir/distributed_matmul.cpp.o.d"
+  "distributed_matmul"
+  "distributed_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

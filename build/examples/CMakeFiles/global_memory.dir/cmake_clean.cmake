@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_memory.dir/global_memory.cpp.o"
+  "CMakeFiles/global_memory.dir/global_memory.cpp.o.d"
+  "global_memory"
+  "global_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

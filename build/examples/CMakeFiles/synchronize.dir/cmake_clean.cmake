@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronize.dir/synchronize.cpp.o"
+  "CMakeFiles/synchronize.dir/synchronize.cpp.o.d"
+  "synchronize"
+  "synchronize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/chip.cc" "src/CMakeFiles/tsm.dir/arch/chip.cc.o" "gcc" "src/CMakeFiles/tsm.dir/arch/chip.cc.o.d"
+  "/root/repo/src/arch/isa.cc" "src/CMakeFiles/tsm.dir/arch/isa.cc.o" "gcc" "src/CMakeFiles/tsm.dir/arch/isa.cc.o.d"
+  "/root/repo/src/arch/mem.cc" "src/CMakeFiles/tsm.dir/arch/mem.cc.o" "gcc" "src/CMakeFiles/tsm.dir/arch/mem.cc.o.d"
+  "/root/repo/src/arch/vec.cc" "src/CMakeFiles/tsm.dir/arch/vec.cc.o" "gcc" "src/CMakeFiles/tsm.dir/arch/vec.cc.o.d"
+  "/root/repo/src/baseline/gpu_matmul.cc" "src/CMakeFiles/tsm.dir/baseline/gpu_matmul.cc.o" "gcc" "src/CMakeFiles/tsm.dir/baseline/gpu_matmul.cc.o.d"
+  "/root/repo/src/baseline/hw_router.cc" "src/CMakeFiles/tsm.dir/baseline/hw_router.cc.o" "gcc" "src/CMakeFiles/tsm.dir/baseline/hw_router.cc.o.d"
+  "/root/repo/src/baseline/sharedmem_allreduce.cc" "src/CMakeFiles/tsm.dir/baseline/sharedmem_allreduce.cc.o" "gcc" "src/CMakeFiles/tsm.dir/baseline/sharedmem_allreduce.cc.o.d"
+  "/root/repo/src/collective/allreduce.cc" "src/CMakeFiles/tsm.dir/collective/allreduce.cc.o" "gcc" "src/CMakeFiles/tsm.dir/collective/allreduce.cc.o.d"
+  "/root/repo/src/collective/primitives.cc" "src/CMakeFiles/tsm.dir/collective/primitives.cc.o" "gcc" "src/CMakeFiles/tsm.dir/collective/primitives.cc.o.d"
+  "/root/repo/src/common/format.cc" "src/CMakeFiles/tsm.dir/common/format.cc.o" "gcc" "src/CMakeFiles/tsm.dir/common/format.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/tsm.dir/common/log.cc.o" "gcc" "src/CMakeFiles/tsm.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/tsm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tsm.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tsm.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tsm.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/tsm.dir/common/table.cc.o" "gcc" "src/CMakeFiles/tsm.dir/common/table.cc.o.d"
+  "/root/repo/src/compiler/cost_model.cc" "src/CMakeFiles/tsm.dir/compiler/cost_model.cc.o" "gcc" "src/CMakeFiles/tsm.dir/compiler/cost_model.cc.o.d"
+  "/root/repo/src/compiler/graph.cc" "src/CMakeFiles/tsm.dir/compiler/graph.cc.o" "gcc" "src/CMakeFiles/tsm.dir/compiler/graph.cc.o.d"
+  "/root/repo/src/compiler/pipeline.cc" "src/CMakeFiles/tsm.dir/compiler/pipeline.cc.o" "gcc" "src/CMakeFiles/tsm.dir/compiler/pipeline.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/tsm.dir/net/network.cc.o" "gcc" "src/CMakeFiles/tsm.dir/net/network.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/tsm.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/tsm.dir/net/topology.cc.o.d"
+  "/root/repo/src/runtime/global_memory.cc" "src/CMakeFiles/tsm.dir/runtime/global_memory.cc.o" "gcc" "src/CMakeFiles/tsm.dir/runtime/global_memory.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/CMakeFiles/tsm.dir/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/tsm.dir/runtime/runtime.cc.o.d"
+  "/root/repo/src/runtime/system.cc" "src/CMakeFiles/tsm.dir/runtime/system.cc.o" "gcc" "src/CMakeFiles/tsm.dir/runtime/system.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/tsm.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/tsm.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/ssn/deadlock.cc" "src/CMakeFiles/tsm.dir/ssn/deadlock.cc.o" "gcc" "src/CMakeFiles/tsm.dir/ssn/deadlock.cc.o.d"
+  "/root/repo/src/ssn/dump.cc" "src/CMakeFiles/tsm.dir/ssn/dump.cc.o" "gcc" "src/CMakeFiles/tsm.dir/ssn/dump.cc.o.d"
+  "/root/repo/src/ssn/reservation.cc" "src/CMakeFiles/tsm.dir/ssn/reservation.cc.o" "gcc" "src/CMakeFiles/tsm.dir/ssn/reservation.cc.o.d"
+  "/root/repo/src/ssn/scheduler.cc" "src/CMakeFiles/tsm.dir/ssn/scheduler.cc.o" "gcc" "src/CMakeFiles/tsm.dir/ssn/scheduler.cc.o.d"
+  "/root/repo/src/ssn/spread.cc" "src/CMakeFiles/tsm.dir/ssn/spread.cc.o" "gcc" "src/CMakeFiles/tsm.dir/ssn/spread.cc.o.d"
+  "/root/repo/src/sync/hac_aligner.cc" "src/CMakeFiles/tsm.dir/sync/hac_aligner.cc.o" "gcc" "src/CMakeFiles/tsm.dir/sync/hac_aligner.cc.o.d"
+  "/root/repo/src/sync/link_characterizer.cc" "src/CMakeFiles/tsm.dir/sync/link_characterizer.cc.o" "gcc" "src/CMakeFiles/tsm.dir/sync/link_characterizer.cc.o.d"
+  "/root/repo/src/sync/program_alignment.cc" "src/CMakeFiles/tsm.dir/sync/program_alignment.cc.o" "gcc" "src/CMakeFiles/tsm.dir/sync/program_alignment.cc.o.d"
+  "/root/repo/src/sync/sync_tree.cc" "src/CMakeFiles/tsm.dir/sync/sync_tree.cc.o" "gcc" "src/CMakeFiles/tsm.dir/sync/sync_tree.cc.o.d"
+  "/root/repo/src/workload/bert.cc" "src/CMakeFiles/tsm.dir/workload/bert.cc.o" "gcc" "src/CMakeFiles/tsm.dir/workload/bert.cc.o.d"
+  "/root/repo/src/workload/cholesky.cc" "src/CMakeFiles/tsm.dir/workload/cholesky.cc.o" "gcc" "src/CMakeFiles/tsm.dir/workload/cholesky.cc.o.d"
+  "/root/repo/src/workload/lstm.cc" "src/CMakeFiles/tsm.dir/workload/lstm.cc.o" "gcc" "src/CMakeFiles/tsm.dir/workload/lstm.cc.o.d"
+  "/root/repo/src/workload/matmul.cc" "src/CMakeFiles/tsm.dir/workload/matmul.cc.o" "gcc" "src/CMakeFiles/tsm.dir/workload/matmul.cc.o.d"
+  "/root/repo/src/workload/traffic_gen.cc" "src/CMakeFiles/tsm.dir/workload/traffic_gen.cc.o" "gcc" "src/CMakeFiles/tsm.dir/workload/traffic_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/chip_test.cc" "tests/CMakeFiles/test_arch.dir/arch/chip_test.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/chip_test.cc.o.d"
+  "/root/repo/tests/arch/isa_test.cc" "tests/CMakeFiles/test_arch.dir/arch/isa_test.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/isa_test.cc.o.d"
+  "/root/repo/tests/arch/mem_test.cc" "tests/CMakeFiles/test_arch.dir/arch/mem_test.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/mem_test.cc.o.d"
+  "/root/repo/tests/arch/vec_test.cc" "tests/CMakeFiles/test_arch.dir/arch/vec_test.cc.o" "gcc" "tests/CMakeFiles/test_arch.dir/arch/vec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

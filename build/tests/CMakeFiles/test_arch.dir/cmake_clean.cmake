@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/chip_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/chip_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/isa_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/isa_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/mem_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/mem_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/vec_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/vec_test.cc.o.d"
+  "test_arch"
+  "test_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

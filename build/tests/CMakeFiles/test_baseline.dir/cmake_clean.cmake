@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline.dir/baseline/hw_router_properties_test.cc.o"
+  "CMakeFiles/test_baseline.dir/baseline/hw_router_properties_test.cc.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/hw_router_test.cc.o"
+  "CMakeFiles/test_baseline.dir/baseline/hw_router_test.cc.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/vc_deadlock_test.cc.o"
+  "CMakeFiles/test_baseline.dir/baseline/vc_deadlock_test.cc.o.d"
+  "test_baseline"
+  "test_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/format_edge_test.cc.o"
+  "CMakeFiles/test_common.dir/common/format_edge_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/format_test.cc.o"
+  "CMakeFiles/test_common.dir/common/format_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/table_test.cc.o"
+  "CMakeFiles/test_common.dir/common/table_test.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

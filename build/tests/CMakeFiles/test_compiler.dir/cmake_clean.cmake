@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiler.dir/compiler/graph_test.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/graph_test.cc.o.d"
+  "CMakeFiles/test_compiler.dir/compiler/lowering_integration_test.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/lowering_integration_test.cc.o.d"
+  "CMakeFiles/test_compiler.dir/compiler/pipeline_test.cc.o"
+  "CMakeFiles/test_compiler.dir/compiler/pipeline_test.cc.o.d"
+  "test_compiler"
+  "test_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

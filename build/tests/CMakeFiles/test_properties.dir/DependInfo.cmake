@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties/golden_test.cc" "tests/CMakeFiles/test_properties.dir/properties/golden_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/golden_test.cc.o.d"
+  "/root/repo/tests/properties/scheduler_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cc.o.d"
+  "/root/repo/tests/properties/spread_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/spread_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/spread_properties_test.cc.o.d"
+  "/root/repo/tests/properties/system_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/system_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/system_properties_test.cc.o.d"
+  "/root/repo/tests/properties/topology_properties_test.cc" "tests/CMakeFiles/test_properties.dir/properties/topology_properties_test.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/topology_properties_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

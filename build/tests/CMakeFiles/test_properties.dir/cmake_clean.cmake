@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/golden_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/golden_test.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/scheduler_properties_test.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/spread_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/spread_properties_test.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/system_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/system_properties_test.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/topology_properties_test.cc.o"
+  "CMakeFiles/test_properties.dir/properties/topology_properties_test.cc.o.d"
+  "test_properties"
+  "test_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

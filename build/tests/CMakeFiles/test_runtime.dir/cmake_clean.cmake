@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/global_memory_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/global_memory_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/runtime_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/runtime_test.cc.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/system_edge_test.cc.o"
+  "CMakeFiles/test_runtime.dir/runtime/system_edge_test.cc.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssn.dir/ssn/dump_test.cc.o"
+  "CMakeFiles/test_ssn.dir/ssn/dump_test.cc.o.d"
+  "CMakeFiles/test_ssn.dir/ssn/reservation_test.cc.o"
+  "CMakeFiles/test_ssn.dir/ssn/reservation_test.cc.o.d"
+  "CMakeFiles/test_ssn.dir/ssn/scheduler_test.cc.o"
+  "CMakeFiles/test_ssn.dir/ssn/scheduler_test.cc.o.d"
+  "CMakeFiles/test_ssn.dir/ssn/spread_test.cc.o"
+  "CMakeFiles/test_ssn.dir/ssn/spread_test.cc.o.d"
+  "test_ssn"
+  "test_ssn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/sync/aligner_test.cc.o"
+  "CMakeFiles/test_sync.dir/sync/aligner_test.cc.o.d"
+  "CMakeFiles/test_sync.dir/sync/alignment_test.cc.o"
+  "CMakeFiles/test_sync.dir/sync/alignment_test.cc.o.d"
+  "CMakeFiles/test_sync.dir/sync/characterizer_test.cc.o"
+  "CMakeFiles/test_sync.dir/sync/characterizer_test.cc.o.d"
+  "test_sync"
+  "test_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/bert_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/bert_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/cholesky_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/cholesky_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/lstm_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/lstm_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/matmul_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/matmul_test.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/traffic_gen_test.cc.o"
+  "CMakeFiles/test_workload.dir/workload/traffic_gen_test.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
