@@ -17,13 +17,18 @@
 #include "arch/chip.hh"
 #include "baseline/hw_router.hh"
 #include "common/table.hh"
+#include "ssn/schedule_trace.hh"
 #include "ssn/scheduler.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --trace=FILE / --metrics / --digest instrument the SSN execution
+    // phase below (schedule replay + chips + network).
+    TraceSession session(TraceOptions::fromArgs(argc, argv));
     std::printf("=== Fig 8: routed-with-contention vs "
                 "software-scheduled ===\n\n");
     // The paper's scenario: A and B both send to D, contending for
@@ -86,6 +91,8 @@ main()
     // Execute on chips to demonstrate the zero-variance claim is
     // enforced, not asserted.
     EventQueue eq;
+    session.attach(eq.tracer());
+    traceSchedule(eq.tracer(), schedule);
     Network net(topo, eq, Rng(6));
     std::vector<std::unique_ptr<TspChip>> chips;
     for (TspId t = 0; t < topo.numTsps(); ++t)
@@ -98,6 +105,7 @@ main()
         chips[t]->start(0);
     }
     eq.run();
+    session.finish();
     std::printf("  executed: destination received %llu vectors, %llu "
                 "corrupt, all on schedule\n\n",
                 (unsigned long long)chips[2]->stats().flitsReceived,

@@ -11,6 +11,8 @@
 #include "baseline/sharedmem_allreduce.hh"
 #include "collective/allreduce.hh"
 #include "common/table.hh"
+#include "ssn/schedule_trace.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
@@ -27,12 +29,26 @@ sizeLabel(Bytes bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TraceSession session(TraceOptions::fromArgs(argc, argv));
+
     std::printf("=== Fig 16: 8-way All-Reduce realized bandwidth "
                 "===\n\n");
     const Topology node = Topology::makeNode();
     HierarchicalAllReduce tsp(node);
+
+    // This figure is evaluated through the scheduler, not the event
+    // simulator, so the traceable timeline is the compile-time link
+    // reservation itself: replay a 1 MiB reduce-scatter schedule.
+    Tracer tracer;
+    if (session.active()) {
+        session.attach(tracer);
+        SsnScheduler scheduler(node);
+        const auto sched = scheduler.schedule(
+            tsp.reduceScatterTransfers(1 * kMiB, 1, 0));
+        traceSchedule(tracer, sched);
+    }
     const GpuAllReduceModel gpu;
     // The TSP exposes 7x12.5 GB/s of intra-node links; pin-normalize
     // the A100's 300 GB/s down to it (the paper's second A100 curve).
@@ -78,5 +94,6 @@ main()
                 "~ 2.1 us)\n",
                 HierarchicalAllReduce(system).smallMessageLatencySec() *
                     1e6);
+    session.finish();
     return 0;
 }

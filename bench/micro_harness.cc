@@ -8,11 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 
 #include "arch/chip.hh"
 #include "net/network.hh"
+#include "ssn/schedule_trace.hh"
 #include "ssn/scheduler.hh"
+#include "trace/session.hh"
 
 namespace tsm {
 namespace {
@@ -101,7 +104,67 @@ BM_ChipInstructionRate(benchmark::State &state)
 }
 BENCHMARK(BM_ChipInstructionRate);
 
+/**
+ * With --trace/--metrics/--digest the harness runs one instrumented
+ * scenario instead of the benchmarks: a 4-flow contended transfer
+ * scheduled by SSN and executed on chips, producing events from the
+ * chip, network, SSN and (with --trace including it) sim categories.
+ */
+int
+runTracedScenario(const TraceOptions &opts)
+{
+    TraceSession session(opts);
+    const Topology topo = Topology::makeNode();
+
+    SsnScheduler scheduler(topo);
+    std::vector<TensorTransfer> transfers;
+    for (unsigned f = 0; f < 4; ++f) {
+        TensorTransfer t;
+        t.flow = f + 1;
+        t.src = TspId(f + 1);
+        t.dst = 0;
+        t.vectors = 32;
+        transfers.push_back(t);
+    }
+    const auto schedule = scheduler.schedule(transfers);
+
+    EventQueue eq;
+    session.attach(eq.tracer());
+    traceSchedule(eq.tracer(), schedule);
+
+    Network net(topo, eq, Rng(1));
+    std::vector<std::unique_ptr<TspChip>> chips;
+    for (TspId t = 0; t < topo.numTsps(); ++t)
+        chips.push_back(std::make_unique<TspChip>(t, net, DriftClock()));
+    auto programs = buildPrograms(schedule, topo);
+    for (TspId t = 0; t < topo.numTsps(); ++t) {
+        chips[t]->setStream(0, makeVec(Vec(1.0f)));
+        programs.byChip[t].emitHalt();
+        chips[t]->load(std::move(programs.byChip[t]));
+        chips[t]->start(0);
+    }
+    eq.run();
+    std::printf("traced scenario: %llu vectors delivered over %u links\n",
+                (unsigned long long)net.totalFlits(),
+                unsigned(topo.links().size()));
+    session.finish();
+    return 0;
+}
+
 } // namespace
 } // namespace tsm
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const tsm::TraceOptions opts = tsm::TraceOptions::fromArgs(argc, argv);
+    if (opts.tracePath.empty() && !opts.metrics && !opts.digest) {
+        benchmark::Initialize(&argc, argv);
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+    }
+    return tsm::runTracedScenario(opts);
+}

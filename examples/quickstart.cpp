@@ -5,26 +5,30 @@
  * simulator, and verify that the simulation lands exactly where the
  * schedule said it would — the determinism the paper is about.
  *
- *   ./quickstart
+ *   ./quickstart [--trace=FILE] [--metrics] [--digest]
  */
 
 #include <cstdio>
 
 #include "arch/chip.hh"
 #include "common/table.hh"
+#include "ssn/schedule_trace.hh"
 #include "ssn/scheduler.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TraceSession session(TraceOptions::fromArgs(argc, argv));
     // 1. The machine: one GroqNode-style chassis — 8 TSPs, fully
     //    connected by 28 C2C links (7 local ports each).
     const Topology topo = Topology::makeNode();
     std::printf("machine: %s\n", topo.describe().c_str());
 
     EventQueue eq;
+    session.attach(eq.tracer());
     Network net(topo, eq, Rng(42));
     std::vector<std::unique_ptr<TspChip>> chips;
     for (TspId t = 0; t < topo.numTsps(); ++t)
@@ -44,6 +48,7 @@ main()
     //    routed". Large tensors spread over non-minimal paths.
     SsnScheduler scheduler(topo);
     const NetworkSchedule schedule = scheduler.schedule({transfer});
+    traceSchedule(eq.tracer(), schedule);
     const auto &flow = schedule.flows.at(1);
     std::printf("scheduled %u vectors over %u paths; "
                 "injection at cycle %llu, last arrival at cycle %llu\n",
@@ -83,5 +88,6 @@ main()
     std::printf("end-to-end transfer latency: %.2f us\n",
                 double(schedule.makespan - transfer.earliest) /
                     kCoreFreqHz * 1e6);
+    session.finish();
     return present == transfer.vectors ? 0 : 1;
 }

@@ -105,10 +105,15 @@ TspChip::scheduleIssue(Tick t)
 void
 TspChip::issue()
 {
+    Tracer &tracer = eventq().tracer();
+
     if (pc_ >= program_.instrs.size()) {
         // Fell off the end: treat as halt.
         running_ = false;
         stats_.haltTick = now();
+        if (tracer.wants(TraceCat::Chip))
+            tracer.emit({now(), 0, TraceCat::Chip, id_, "halt",
+                         std::int64_t(pc_), std::int64_t(localCycle())});
         if (onHalt_)
             onHalt_();
         return;
@@ -137,9 +142,21 @@ TspChip::issue()
     const Tick next = execute(i);
     ++stats_.instrsExecuted;
 
+    if (tracer.wants(TraceCat::Chip)) {
+        // One event per retired instruction; duration is its occupancy
+        // of the issue slot (0 for a failed poll, which retires later).
+        const Tick dur =
+            next != kTickInvalid && next > now() ? next - now() : 0;
+        tracer.emit({now(), dur, TraceCat::Chip, id_, opName(i.op),
+                     std::int64_t(pc_), std::int64_t(localCycle())});
+    }
+
     if (i.op == Op::Halt) {
         running_ = false;
         stats_.haltTick = now();
+        if (tracer.wants(TraceCat::Chip))
+            tracer.emit({now(), 0, TraceCat::Chip, id_, "halt",
+                         std::int64_t(pc_), std::int64_t(localCycle())});
         if (onHalt_)
             onHalt_();
         return;
@@ -175,6 +192,11 @@ TspChip::consumeRx(const Instr &i)
     ArrivedFlit af = fifo.front();
     fifo.pop_front();
     ++stats_.flitsReceived;
+    Tracer &tracer = eventq().tracer();
+    if (af.flit.flow != 0 && tracer.wants(TraceCat::Ssn))
+        tracer.emit({now(), 0, TraceCat::Ssn, id_,
+                     af.flit.corrupt ? "corrupt" : "recv",
+                     std::int64_t(af.flit.flow), std::int64_t(af.flit.seq)});
     if (i.flow != 0) {
         TSM_ASSERT(af.flit.flow == i.flow && af.flit.seq == i.seq,
                    "tsp{} port{}: receive tag mismatch (expected flow {} "
@@ -310,6 +332,10 @@ TspChip::execute(const Instr &i)
         flit.payload = streams_[i.srcA];
         net_->transmit(id_, portLink(i.port), std::move(flit), now());
         ++stats_.flitsSent;
+        if (i.flow != 0 && eventq().tracer().wants(TraceCat::Ssn))
+            eventq().tracer().emit({now(), 0, TraceCat::Ssn, id_, "send",
+                                    std::int64_t(i.flow),
+                                    std::int64_t(i.seq)});
         // Hand-written (unscheduled) programs self-pace at the port
         // serialization rate; SSN schedules control pacing themselves.
         if (i.issueAt == kCycleUnscheduled)

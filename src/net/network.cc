@@ -69,6 +69,10 @@ Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
     if (em->mbePerVector > 0.0 && rng_.chance(em->mbePerVector)) {
         ++st.mbeDetected;
         flit.corrupt = true;
+        if (eventq_->tracer().wants(TraceCat::Net))
+            eventq_->tracer().emit({depart, 0, TraceCat::Net, l, "mbe",
+                                    std::int64_t(flit.flow),
+                                    std::int64_t(flit.seq)});
     }
 
     Tick prop = linkPropagationPs(link.cls);
@@ -83,6 +87,10 @@ Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
     }
 
     const Tick arrival = depart + ser + prop;
+    if (eventq_->tracer().wants(TraceCat::Net))
+        eventq_->tracer().emit({depart, arrival - depart, TraceCat::Net, l,
+                                "tx", std::int64_t(flit.flow),
+                                std::int64_t(flit.seq)});
     deliver(link, src, l, std::move(flit), arrival);
     return arrival;
 }
@@ -103,6 +111,11 @@ Network::controlTransmit(TspId src, LinkId l, Flit flit)
         prop = Tick(std::max(floor_ps, double(prop) + noise));
     }
     const Tick arrival = eventq_->now() + prop;
+    if (eventq_->tracer().wants(TraceCat::Net))
+        eventq_->tracer().emit({eventq_->now(), arrival - eventq_->now(),
+                                TraceCat::Net, l, "ctl",
+                                std::int64_t(flit.flow),
+                                std::int64_t(flit.meta)});
     deliver(link, src, l, std::move(flit), arrival);
     return arrival;
 }
@@ -116,6 +129,10 @@ Network::deliver(const Link &link, TspId src, LinkId l, Flit flit,
     eventq_->schedule(arrival, [this, dst, dst_port, l,
                                 flit = std::move(flit), arrival] {
         ArrivedFlit af{flit, arrival, l};
+        if (eventq_->tracer().wants(TraceCat::Net))
+            eventq_->tracer().emit({arrival, 0, TraceCat::Net, l, "rx",
+                                    std::int64_t(af.flit.flow),
+                                    std::int64_t(af.flit.seq)});
         if (sinks_[dst])
             sinks_[dst]->flitArrived(dst_port, af);
         else

@@ -15,7 +15,23 @@ TsmSystem::TsmSystem(const SystemConfig &config, Topology topo)
     net_ = std::make_unique<Network>(topo_, eq_, rng_.fork(1),
                                      config_.jitter);
     net_->setErrorModel(config_.errors);
+    if (config_.captureDigest) {
+        digest_ = std::make_unique<DigestSink>();
+        eq_.tracer().addSink(digest_.get());
+    }
     buildChips();
+}
+
+std::uint64_t
+TsmSystem::timelineDigest() const
+{
+    return digest_ ? digest_->digest() : 0;
+}
+
+std::uint64_t
+TsmSystem::digestEvents() const
+{
+    return digest_ ? digest_->events() : 0;
 }
 
 void
@@ -48,6 +64,9 @@ TsmSystem::synchronize(Tick duration)
             return raw;
         }(),
         tree);
+    if (eq_.tracer().wants(TraceCat::Runtime))
+        eq_.tracer().emit({eq_.now(), duration, TraceCat::Runtime, 0,
+                           "synchronize", std::int64_t(chips_.size()), 0});
     sync.start();
     eq_.runUntil(eq_.now() + duration);
     sync.stop();
@@ -64,6 +83,9 @@ TsmSystem::launchAligned(std::vector<Program> payloads)
     const SyncTree tree = SyncTree::build(topo_, 0);
     const AlignmentPlan plan = AlignmentPlan::build(topo_, tree);
     const Tick start = eq_.now();
+    if (eq_.tracer().wants(TraceCat::Runtime))
+        eq_.tracer().emit({start, 0, TraceCat::Runtime, 0, "launch_aligned",
+                           std::int64_t(chips_.size()), 0});
     for (TspId t = 0; t < chips_.size(); ++t) {
         Program payload = std::move(payloads[t]);
         if (payload.instrs.empty() ||
@@ -81,6 +103,9 @@ TsmSystem::launchRaw(std::vector<Program> payloads, Tick at)
 {
     TSM_ASSERT(payloads.size() == chips_.size(),
                "one payload per chip required (may be empty)");
+    if (eq_.tracer().wants(TraceCat::Runtime))
+        eq_.tracer().emit({eq_.now(), 0, TraceCat::Runtime, 0, "launch_raw",
+                           std::int64_t(chips_.size()), std::int64_t(at)});
     for (TspId t = 0; t < chips_.size(); ++t) {
         Program payload = std::move(payloads[t]);
         if (payload.instrs.empty() ||
@@ -109,6 +134,9 @@ TsmSystem::runToCompletion(Tick deadline)
             return false;
         eq_.run(100000);
     }
+    if (eq_.tracer().wants(TraceCat::Runtime))
+        eq_.tracer().emit({eq_.now(), 0, TraceCat::Runtime, 0, "completed",
+                           std::int64_t(chips_.size()), 0});
     return true;
 }
 

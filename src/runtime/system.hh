@@ -16,6 +16,7 @@
 #include "net/network.hh"
 #include "sync/program_alignment.hh"
 #include "sync/sync_tree.hh"
+#include "trace/digest.hh"
 
 namespace tsm {
 
@@ -33,6 +34,14 @@ struct SystemConfig
 
     /** Global FEC error model. */
     ErrorModel errors;
+
+    /**
+     * Attach a DigestSink for the system's whole lifetime, folding
+     * every traced event (all categories, including per-dispatch Sim
+     * events) into a 64-bit fingerprint readable via timelineDigest().
+     * Two runs are bit-identical iff their digests match.
+     */
+    bool captureDigest = false;
 
     std::uint64_t seed = 1;
 };
@@ -52,6 +61,18 @@ class TsmSystem
     Network &net() { return *net_; }
     TspChip &chip(TspId t) { return *chips_.at(t); }
     unsigned numTsps() const { return unsigned(chips_.size()); }
+
+    /** The simulation's tracer (attach/remove sinks here). */
+    Tracer &tracer() { return eq_.tracer(); }
+
+    /**
+     * The golden timeline digest accumulated so far. Requires
+     * SystemConfig::captureDigest; 0 otherwise.
+     */
+    std::uint64_t timelineDigest() const;
+
+    /** Traced events folded into the digest so far (0 if off). */
+    std::uint64_t digestEvents() const;
 
     /**
      * Run the HAC spanning-tree alignment for `duration` and stop it.
@@ -89,6 +110,7 @@ class TsmSystem
     std::unique_ptr<Network> net_;
     std::vector<std::unique_ptr<TspChip>> chips_;
     std::vector<bool> launched_;
+    std::unique_ptr<DigestSink> digest_;
 };
 
 } // namespace tsm

@@ -26,6 +26,9 @@ EventQueue::run(std::uint64_t limit)
         Entry top = std::move(const_cast<Entry &>(heap_.top()));
         heap_.pop();
         now_ = top.when;
+        if (tracer_.wants(TraceCat::Sim))
+            tracer_.emit({top.when, 0, TraceCat::Sim, 0, "dispatch",
+                          std::int64_t(top.seq), 0});
         top.fn();
         ++executed;
     }
@@ -40,6 +43,9 @@ EventQueue::runUntil(Tick until)
         Entry top = std::move(const_cast<Entry &>(heap_.top()));
         heap_.pop();
         now_ = top.when;
+        if (tracer_.wants(TraceCat::Sim))
+            tracer_.emit({top.when, 0, TraceCat::Sim, 0, "dispatch",
+                          std::int64_t(top.seq), 0});
         top.fn();
         ++executed;
     }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "trace/trace.hh"
 
 namespace tsm {
 
@@ -58,6 +59,15 @@ class EventQueue
     /** Drop all pending events and reset time to zero. */
     void reset();
 
+    /**
+     * The tracer for this simulation. Every model holds (directly or
+     * through its owner) a pointer to the queue, so this is the natural
+     * per-simulation scope for trace sinks. With no sinks attached the
+     * instrumentation reduces to one mask test per probe.
+     */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
+
   private:
     struct Entry
     {
@@ -78,6 +88,7 @@ class EventQueue
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
+    Tracer tracer_;
 };
 
 } // namespace tsm

@@ -4,4 +4,5 @@ tsm_module(ssn
     scheduler.cc
     deadlock.cc
     dump.cc
+    schedule_trace.cc
 )

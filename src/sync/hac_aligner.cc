@@ -47,6 +47,10 @@ HacAligner::sendUpdate()
                                       std::move(update));
     // Schedule the next periodic update on the parent's clock.
     EventQueue &eq = parent_.network().eventq();
+    if (eq.tracer().wants(TraceCat::Sync))
+        eq.tracer().emit({eq.now(), 0, TraceCat::Sync, parent_.id(),
+                          "hac_tx", std::int64_t(parent_.hac()),
+                          std::int64_t(child_.id())});
     const Tick next = parent_.clock().cycleToTick(
         parent_.localCycle() + config_.updatePeriodCycles);
     eq.schedule(next, [this] { sendUpdate(); });
@@ -82,6 +86,11 @@ HacAligner::childHandler(const ArrivedFlit &af)
     if (step != 0)
         child_.adjustHac(step);
     ++updates_;
+    EventQueue &eq = child_.network().eventq();
+    if (eq.tracer().wants(TraceCat::Sync))
+        eq.tracer().emit({eq.now(), 0, TraceCat::Sync, child_.id(),
+                          "hac_adj", std::int64_t(diff),
+                          std::int64_t(updates_)});
 }
 
 bool

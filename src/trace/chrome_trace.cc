@@ -1,0 +1,96 @@
+#include "trace/chrome_trace.hh"
+
+#include <cstdio>
+
+#include "common/format.hh"
+#include "common/log.hh"
+
+namespace tsm {
+
+namespace {
+
+/** Picoseconds to the format's microsecond timestamps. */
+std::string
+psToUsField(Tick ps)
+{
+    // 6 decimals keeps single-picosecond resolution exactly.
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%06llu",
+                  (unsigned long long)(ps / kPsPerUs),
+                  (unsigned long long)(ps % kPsPerUs));
+    return buf;
+}
+
+} // namespace
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os, unsigned mask)
+    : os_(&os), mask_(mask)
+{
+    writeHeader();
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string &path, unsigned mask)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get()),
+      mask_(mask)
+{
+    if (!owned_->is_open())
+        fatal("cannot open trace output file '{}'", path);
+    writeHeader();
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    finish();
+}
+
+void
+ChromeTraceSink::writeHeader()
+{
+    *os_ << "[";
+    // One "process" per subsystem so chrome://tracing groups lanes.
+    for (unsigned c = 0; c < kNumTraceCats; ++c) {
+        writeRecord(format("{{\"name\":\"process_name\",\"ph\":\"M\","
+                           "\"pid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                           c, traceCatName(TraceCat(c))));
+    }
+}
+
+void
+ChromeTraceSink::writeRecord(const std::string &json)
+{
+    if (records_++ > 0)
+        *os_ << ",";
+    *os_ << "\n" << json;
+}
+
+void
+ChromeTraceSink::event(const TraceEvent &ev)
+{
+    if (finished_)
+        return;
+    const char *ph = ev.dur > 0 ? "X" : "i";
+    std::string rec =
+        format("{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\","
+               "\"ts\":{},",
+               ev.name, traceCatName(ev.cat), ph, psToUsField(ev.tick));
+    if (ev.dur > 0)
+        rec += format("\"dur\":{},", psToUsField(ev.dur));
+    else
+        rec += "\"s\":\"t\",";
+    rec += format("\"pid\":{},\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+                  unsigned(ev.cat), ev.actor, ev.a, ev.b);
+    writeRecord(rec);
+    ++events_;
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    *os_ << "\n]\n";
+    os_->flush();
+}
+
+} // namespace tsm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter: any traced run can be opened in
+ * chrome://tracing or https://ui.perfetto.dev. Categories map to
+ * processes (one lane group per subsystem) and actors to threads, so
+ * per-chip / per-link timelines render as separate rows.
+ *
+ * Format reference: the "Trace Event Format" document (JSON array
+ * flavour). Complete events use ph:"X" with microsecond ts/dur;
+ * zero-duration events render as thread-scoped instants (ph:"i").
+ */
+
+#ifndef TSM_TRACE_CHROME_TRACE_HH
+#define TSM_TRACE_CHROME_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace tsm {
+
+/** Streams trace events as a Chrome trace_event JSON array. */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /** Write into an externally owned stream (tests, stdout). */
+    explicit ChromeTraceSink(std::ostream &os,
+                             unsigned mask = kTraceDefaultCats);
+
+    /** Open `path` for writing; fatal() if it cannot be opened. */
+    explicit ChromeTraceSink(const std::string &path,
+                             unsigned mask = kTraceDefaultCats);
+
+    ~ChromeTraceSink() override;
+
+    unsigned categoryMask() const override { return mask_; }
+    void event(const TraceEvent &ev) override;
+
+    /** Close the JSON array and flush; idempotent. */
+    void finish() override;
+
+    /** Number of trace events written (metadata excluded). */
+    std::uint64_t eventsWritten() const { return events_; }
+
+  private:
+    /** Emit the opening bracket and per-category process metadata. */
+    void writeHeader();
+
+    /** Write one raw JSON object, handling separators. */
+    void writeRecord(const std::string &json);
+
+    std::unique_ptr<std::ofstream> owned_;
+    std::ostream *os_;
+    unsigned mask_;
+    std::uint64_t records_ = 0;
+    std::uint64_t events_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace tsm
+
+#endif // TSM_TRACE_CHROME_TRACE_HH

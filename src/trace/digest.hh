@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Golden timeline digests: fold every traced event — tick, category,
+ * name, actor, payload — into one 64-bit FNV-1a fingerprint of the
+ * run's full cycle-level behaviour. Two runs are timing-identical iff
+ * their digests match, which turns the paper's end-to-end determinism
+ * claim into a single-integer regression oracle (tests/properties/
+ * determinism_test.cc pins it under drift + jitter + FEC errors).
+ */
+
+#ifndef TSM_TRACE_DIGEST_HH
+#define TSM_TRACE_DIGEST_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace tsm {
+
+/** FNV-1a 64-bit offset basis — the empty-stream digest. */
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/** FNV-1a 64-bit prime. */
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/** Fold `n` raw bytes into an FNV-1a running hash. */
+std::uint64_t fnv1a64(std::uint64_t h, const void *data, std::size_t n);
+
+/** Fold one 64-bit word (as 8 little-endian bytes) into the hash. */
+std::uint64_t fnv1a64Word(std::uint64_t h, std::uint64_t word);
+
+/**
+ * Streaming digest over the full trace stream. Subscribes to every
+ * category, including the event queue's per-dispatch events, so the
+ * digest covers both what happened and the order it was scheduled in.
+ */
+class DigestSink : public TraceSink
+{
+  public:
+    unsigned categoryMask() const override { return kTraceAllCats; }
+    void event(const TraceEvent &ev) override;
+
+    /** Current fingerprint of every event folded so far. */
+    std::uint64_t digest() const { return digest_; }
+
+    /** Number of events folded. */
+    std::uint64_t events() const { return events_; }
+
+    /** Return to the empty-stream state. */
+    void reset();
+
+  private:
+    std::uint64_t digest_ = kFnvOffsetBasis;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace tsm
+
+#endif // TSM_TRACE_DIGEST_HH

@@ -1,0 +1,113 @@
+#include "trace/session.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tsm {
+
+TraceOptions
+TraceOptions::fromArgs(int &argc, char **argv)
+{
+    TraceOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opts.tracePath = arg + 8;
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            opts.metrics = true;
+        } else if (std::strcmp(arg, "--digest") == 0) {
+            opts.digest = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
+{
+    if (!opts_.tracePath.empty())
+        chrome_ = std::make_unique<ChromeTraceSink>(opts_.tracePath);
+    if (opts_.metrics)
+        metricsSink_ = std::make_unique<MetricsSink>();
+    if (opts_.digest)
+        digestSink_ = std::make_unique<DigestSink>();
+}
+
+TraceSession::~TraceSession()
+{
+    finish();
+}
+
+bool
+TraceSession::active() const
+{
+    return chrome_ || metricsSink_ || digestSink_;
+}
+
+void
+TraceSession::attach(Tracer &tracer)
+{
+    detach();
+    tracer_ = &tracer;
+    if (chrome_)
+        tracer.addSink(chrome_.get());
+    if (metricsSink_)
+        tracer.addSink(metricsSink_.get());
+    if (digestSink_)
+        tracer.addSink(digestSink_.get());
+}
+
+void
+TraceSession::detach()
+{
+    if (!tracer_)
+        return;
+    if (chrome_)
+        tracer_->removeSink(chrome_.get());
+    if (metricsSink_)
+        tracer_->removeSink(metricsSink_.get());
+    if (digestSink_)
+        tracer_->removeSink(digestSink_.get());
+    tracer_ = nullptr;
+}
+
+MetricsRegistry *
+TraceSession::metrics()
+{
+    return metricsSink_ ? &metricsSink_->registry() : nullptr;
+}
+
+std::uint64_t
+TraceSession::digest() const
+{
+    return digestSink_ ? digestSink_->digest() : 0;
+}
+
+void
+TraceSession::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    detach();
+    if (chrome_) {
+        chrome_->finish();
+        std::printf("trace: wrote %llu events to %s\n",
+                    (unsigned long long)chrome_->eventsWritten(),
+                    opts_.tracePath.c_str());
+    }
+    if (metricsSink_) {
+        std::printf("metrics:\n%s",
+                    metricsSink_->registry().report().c_str());
+    }
+    if (digestSink_) {
+        std::printf("timeline digest: 0x%016llx (%llu events)\n",
+                    (unsigned long long)digestSink_->digest(),
+                    (unsigned long long)digestSink_->events());
+    }
+}
+
+} // namespace tsm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Command-line wiring for the trace subsystem, shared by the bench
+ * binaries and examples:
+ *
+ *   --trace=FILE   write a Chrome trace_event JSON timeline to FILE
+ *   --metrics      print the metrics table at exit
+ *   --digest       print the 64-bit golden timeline digest at exit
+ *
+ * A TraceSession owns the sinks the options imply and attaches them to
+ * whichever Tracer the harness is currently driving. The tracer is
+ * borrowed: call detach() (or attach() to a new tracer) before the
+ * event queue owning it is destroyed.
+ */
+
+#ifndef TSM_TRACE_SESSION_HH
+#define TSM_TRACE_SESSION_HH
+
+#include <memory>
+#include <string>
+
+#include "trace/chrome_trace.hh"
+#include "trace/digest.hh"
+#include "trace/metrics.hh"
+
+namespace tsm {
+
+/** Parsed trace-related command-line options. */
+struct TraceOptions
+{
+    /** Chrome trace output path; empty = no timeline export. */
+    std::string tracePath;
+
+    /** Print the metrics table at end of session. */
+    bool metrics = false;
+
+    /** Print the golden timeline digest at end of session. */
+    bool digest = false;
+
+    /**
+     * Scan argv for the options above, removing every recognized
+     * argument in place (argc is updated) so downstream parsers
+     * (e.g. google-benchmark) never see them.
+     */
+    static TraceOptions fromArgs(int &argc, char **argv);
+};
+
+/** The sinks one traced run needs, bundled and CLI-configurable. */
+class TraceSession
+{
+  public:
+    TraceSession() = default;
+    explicit TraceSession(TraceOptions opts);
+
+    /** Finishes (writes/prints) if finish() was not called. */
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** True if any option requested any sink. */
+    bool active() const;
+
+    /**
+     * Attach this session's sinks to `tracer` (detaching from any
+     * previous tracer first). `tracer` must outlive the attachment.
+     */
+    void attach(Tracer &tracer);
+
+    /** Detach from the current tracer, if any. */
+    void detach();
+
+    /** The metrics registry, or nullptr when --metrics is off. */
+    MetricsRegistry *metrics();
+
+    /** Current timeline digest (0 when --digest is off). */
+    std::uint64_t digest() const;
+
+    /**
+     * Detach, close the trace file, and print the requested metrics
+     * table / digest to stdout. Idempotent.
+     */
+    void finish();
+
+  private:
+    TraceOptions opts_;
+    std::unique_ptr<ChromeTraceSink> chrome_;
+    std::unique_ptr<MetricsSink> metricsSink_;
+    std::unique_ptr<DigestSink> digestSink_;
+    Tracer *tracer_ = nullptr;
+    bool finished_ = false;
+};
+
+} // namespace tsm
+
+#endif // TSM_TRACE_SESSION_HH

@@ -1,0 +1,7 @@
+tsm_module(trace
+    trace.cc
+    chrome_trace.cc
+    metrics.cc
+    digest.cc
+    session.cc
+)

@@ -1,0 +1,68 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Sim:
+        return "sim";
+      case TraceCat::Chip:
+        return "chip";
+      case TraceCat::Net:
+        return "net";
+      case TraceCat::Ssn:
+        return "ssn";
+      case TraceCat::Sync:
+        return "sync";
+      case TraceCat::Runtime:
+        return "runtime";
+    }
+    return "?";
+}
+
+void
+Tracer::addSink(TraceSink *sink)
+{
+    TSM_ASSERT(sink != nullptr, "cannot attach a null trace sink");
+    for (const auto &att : sinks_)
+        TSM_ASSERT(att.sink != sink, "trace sink attached twice");
+    sinks_.push_back({sink, sink->categoryMask() & kTraceAllCats});
+    mask_ |= sinks_.back().mask;
+}
+
+void
+Tracer::removeSink(TraceSink *sink)
+{
+    sinks_.erase(std::remove_if(sinks_.begin(), sinks_.end(),
+                                [sink](const Attached &att) {
+                                    return att.sink == sink;
+                                }),
+                 sinks_.end());
+    mask_ = 0;
+    for (const auto &att : sinks_)
+        mask_ |= att.mask;
+}
+
+void
+Tracer::emit(const TraceEvent &ev)
+{
+    const unsigned bit = traceCatBit(ev.cat);
+    for (const auto &att : sinks_)
+        if (att.mask & bit)
+            att.sink->event(ev);
+}
+
+void
+Tracer::finishAll()
+{
+    for (const auto &att : sinks_)
+        att.sink->finish();
+}
+
+} // namespace tsm

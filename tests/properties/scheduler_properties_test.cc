@@ -117,22 +117,84 @@ TEST_P(SchedulerFuzz, MakespanBoundedByMinimalOnlySerialization)
     EXPECT_LE(b.makespan, m.makespan + 1);
 }
 
+TEST_P(SchedulerFuzz, LargeWorkloadsValidate)
+{
+    // Heavier load: more flows, bigger tensors — the reservation
+    // ledger sees far more occupied windows per link.
+    Rng rng(GetParam() ^ 0xf00d);
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    const auto transfers = randomTransfers(rng, topo.numTsps(), 32, 160);
+    const auto sched = scheduler.schedule(transfers);
+
+    const auto report = validateSchedule(sched, topo);
+    EXPECT_TRUE(report.ok) << report.firstViolation;
+
+    std::map<FlowId, std::uint32_t> counts;
+    for (const auto &sv : sched.vectors)
+        ++counts[sv.flow];
+    for (const auto &t : transfers)
+        EXPECT_EQ(counts[t.flow], t.vectors) << "flow " << t.flow;
+    EXPECT_TRUE(holdAndWaitFree(sched, topo));
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
                          ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
-                                           13ull, 21ull, 34ull));
+                                           13ull, 21ull, 34ull, 55ull,
+                                           89ull, 144ull, 233ull, 377ull,
+                                           610ull, 987ull, 1597ull));
 
 TEST(SchedulerCrossTopology, CrossNodeWorkloadsValidate)
 {
-    // Same fuzz on a 2-node dragonfly (multi-hop, global links).
-    for (std::uint64_t seed : {100ull, 200ull, 300ull}) {
+    // Same fuzz on multi-node dragonflies (multi-hop, global links)
+    // and the ring-wired node (longer minimal paths, fewer choices).
+    const Topology topos[] = {Topology::makeSingleLevel(2),
+                              Topology::makeSingleLevel(4),
+                              Topology::makeNode(NodeWiring::TripleRing)};
+    for (const Topology &topo : topos) {
+        for (std::uint64_t seed :
+             {100ull, 200ull, 300ull, 400ull, 500ull}) {
+            Rng rng(seed);
+            SsnScheduler scheduler(topo);
+            const auto transfers =
+                randomTransfers(rng, topo.numTsps(), 10, 32);
+            const auto sched = scheduler.schedule(transfers);
+            const auto report = validateSchedule(sched, topo);
+            EXPECT_TRUE(report.ok)
+                << topo.describe() << " seed " << seed << ": "
+                << report.firstViolation;
+        }
+    }
+}
+
+TEST(SchedulerCrossTopology, CrossNodeSchedulesExecuteOnChips)
+{
+    // Execute a cross-node schedule on the simulator: inter-node
+    // transfers traverse intermediate hops over global links, so this
+    // exercises forwarding programs end to end.
+    const Topology topo = Topology::makeSingleLevel(2);
+    for (std::uint64_t seed : {1ull, 9ull}) {
         Rng rng(seed);
-        const Topology topo = Topology::makeSingleLevel(2);
         SsnScheduler scheduler(topo);
-        const auto transfers =
-            randomTransfers(rng, topo.numTsps(), 10, 32);
+        const auto transfers = randomTransfers(rng, topo.numTsps(), 4, 8);
         const auto sched = scheduler.schedule(transfers);
-        const auto report = validateSchedule(sched, topo);
-        EXPECT_TRUE(report.ok) << report.firstViolation;
+
+        EventQueue eq;
+        Network net(topo, eq, Rng(seed));
+        std::vector<std::unique_ptr<TspChip>> chips;
+        for (TspId t = 0; t < topo.numTsps(); ++t)
+            chips.push_back(
+                std::make_unique<TspChip>(t, net, DriftClock()));
+        auto programs = buildPrograms(sched, topo);
+        for (TspId t = 0; t < topo.numTsps(); ++t) {
+            chips[t]->setStream(0, makeVec(Vec(float(t))));
+            programs.byChip[t].emitHalt();
+            chips[t]->load(std::move(programs.byChip[t]));
+            chips[t]->start(0);
+        }
+        eq.run();
+        for (const auto &c : chips)
+            EXPECT_TRUE(c->halted()) << "seed " << seed;
     }
 }
 

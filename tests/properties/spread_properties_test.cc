@@ -88,7 +88,98 @@ TEST_P(SpreadFuzz, ConservationAndMonotonicity)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpreadFuzz,
-                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull,
+                                           55ull, 66ull, 77ull, 88ull));
+
+/**
+ * Seed-sweep fuzz of the non-minimal path machinery the spreader
+ * feeds on: real topology path enumeration -> latency-model
+ * conversion -> water-fill, checking the §4.3 invariants on random
+ * endpoint pairs.
+ */
+class NonMinimalPathFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NonMinimalPathFuzz, SpreadOverRealPathsHoldsInvariants)
+{
+    Rng rng(GetParam());
+    const Topology topos[] = {Topology::makeNode(),
+                              Topology::makeNode(NodeWiring::TripleRing),
+                              Topology::makeSingleLevel(2)};
+    for (const Topology &topo : topos) {
+        for (int trial = 0; trial < 8; ++trial) {
+            const auto src = TspId(rng.below(topo.numTsps()));
+            TspId dst;
+            do {
+                dst = TspId(rng.below(topo.numTsps()));
+            } while (dst == src);
+            const auto extra = unsigned(rng.below(3)); // 0..2 extra hops
+            const auto limit = unsigned(rng.below(12) + 2);
+
+            const auto raw = topo.paths(src, dst, extra, limit);
+            ASSERT_FALSE(raw.empty());
+            ASSERT_LE(raw.size(), limit);
+
+            // Every enumerated path chains src -> dst over enabled
+            // links and respects the length bound.
+            const unsigned min_hops = topo.distance(src, dst);
+            for (const auto &path : raw) {
+                EXPECT_GE(path.size(), min_hops);
+                EXPECT_LE(path.size(), min_hops + extra);
+                TspId at = src;
+                for (LinkId l : path) {
+                    const Link &link = topo.links().at(l);
+                    EXPECT_TRUE(at == link.a || at == link.b);
+                    EXPECT_TRUE(topo.linkEnabled(l));
+                    at = link.peer(at);
+                }
+                EXPECT_EQ(at, dst);
+            }
+
+            auto choices = toPathChoices(topo, raw);
+            std::sort(choices.begin(), choices.end(),
+                      [](const auto &x, const auto &y) {
+                          return x.latencyCycles < y.latencyCycles;
+                      });
+            // Longer paths never model as faster than shorter ones.
+            EXPECT_GE(choices.back().latencyCycles,
+                      choices.front().latencyCycles);
+
+            const auto vectors = std::uint32_t(rng.below(400) + 1);
+            const SpreadPlan plan = spreadVectors(vectors, choices);
+
+            // Conservation.
+            std::uint32_t total = 0;
+            for (auto v : plan.vectorsPerPath)
+                total += v;
+            EXPECT_EQ(total, vectors);
+
+            // A single vector rides the minimal path alone.
+            const SpreadPlan one = spreadVectors(1, choices);
+            EXPECT_EQ(one.pathsUsed(), 1u);
+            EXPECT_EQ(one.vectorsPerPath.front(), 1u);
+
+            // Never worse than minimal-only serialization.
+            EXPECT_LE(plan.completionCycles,
+                      pathCompletionCycles(
+                          vectors, choices.front().latencyCycles));
+
+            // Faster paths carry at least as much as slower ones.
+            for (std::size_t p = 1; p < choices.size(); ++p) {
+                if (choices[p - 1].latencyCycles <
+                    choices[p].latencyCycles) {
+                    EXPECT_GE(plan.vectorsPerPath[p - 1],
+                              plan.vectorsPerPath[p]);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NonMinimalPathFuzz,
+                         ::testing::Values(3ull, 31ull, 314ull, 3141ull,
+                                           31415ull, 314159ull));
 
 class LedgerFuzz : public ::testing::TestWithParam<std::uint64_t>
 {

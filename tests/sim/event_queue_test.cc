@@ -88,6 +88,110 @@ TEST(EventQueue, ResetDropsEverything)
     EXPECT_EQ(eq.now(), 0u);
 }
 
+TEST(EventQueue, ScheduleAtNowInsideCallbackRunsSameRun)
+{
+    // An event scheduled for the current tick from within a callback
+    // must still execute in this run(), after the events already
+    // queued for that tick (insertion order).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.schedule(eq.now(), [&] { order.push_back(3); });
+    });
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 10u);
+}
+
+TEST(EventQueue, ScheduleAfterZeroDelayIsLegal)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { eq.scheduleAfter(0, [&] { ++fired; }); });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SameTickStabilityAcrossInterleavedSchedules)
+{
+    // Insertion order at one tick must hold even when schedules for
+    // that tick are interleaved with schedules for other ticks — the
+    // global sequence number, not heap luck, decides.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&] { order.push_back(100); });
+    eq.schedule(10, [&] { order.push_back(0); });
+    eq.schedule(20, [&] { order.push_back(101); });
+    eq.schedule(5, [&] { order.push_back(-1); });
+    eq.schedule(20, [&] { order.push_back(102); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 100, 101, 102}));
+}
+
+TEST(EventQueue, SameTickStabilitySurvivesManyEvents)
+{
+    // Enough same-tick events to force heap rebalancing.
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 1000; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilBoundaryIsInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(50, [&] { ++fired; });
+    eq.schedule(51, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(50), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, RunUntilAtNowWithEmptyQueueHoldsTime)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    EXPECT_EQ(eq.now(), 100u);
+    eq.runUntil(100); // not in the past; must be a no-op
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, CascadedSameTickChainTerminates)
+{
+    // A bounded chain of schedule-at-now events all run at one tick.
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 64)
+            eq.schedule(eq.now(), chain);
+    };
+    eq.schedule(3, chain);
+    EXPECT_EQ(eq.run(), 64u);
+    EXPECT_EQ(depth, 64);
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+TEST(EventQueue, ResetAllowsReuseFromZero)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    eq.reset();
+    // After reset, scheduling at early ticks is legal again.
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 1u);
+}
+
 TEST(EventQueueDeath, PastScheduleAborts)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
@@ -95,6 +199,16 @@ TEST(EventQueueDeath, PastScheduleAborts)
     eq.schedule(10, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueueDeath, PastScheduleInsideCallbackAborts)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_DEATH(eq.schedule(9, [] {}), "past");
+    });
+    eq.run();
 }
 
 } // namespace
