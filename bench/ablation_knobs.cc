@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "baseline/hw_router.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "ssn/scheduler.hh"
 #include "sync/hac_aligner.hh"
@@ -173,8 +174,12 @@ vcAblation()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("ablation_knobs");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Ablations of DESIGN.md design choices ===\n\n");
     pathCapAblation();
     hacRateAblation();

@@ -8,14 +8,19 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/lstm.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("ext_lstm_decode");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Extension: batch-1 LSTM decode (256 timesteps) "
                 "===\n\n");
     const TspCostModel cost;

@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "runtime/runtime.hh"
 
@@ -40,8 +41,12 @@ ringWork(const Topology &, const std::vector<TspId> &active)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("ext_reliability_scale");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Extension: replay overhead vs scale and error "
                 "rate (§4.5) ===\n\n");
 

@@ -9,14 +9,19 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/matmul.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("ext_scaling_duality");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     const TspCostModel cost;
 
     std::printf("=== Extension: strong vs weak scaling on distributed "

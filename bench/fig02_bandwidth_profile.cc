@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "net/topology.hh"
 
@@ -45,8 +46,12 @@ row(Table &table, const Topology &topo)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig02_bandwidth_profile");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 2: global bandwidth profile per TSP ===\n\n");
     Table table({"TSPs", "level", "local GB/s", "global GB/s",
                  "bisection GB/s"});

@@ -16,7 +16,9 @@
 
 #include "arch/chip.hh"
 #include "baseline/hw_router.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
+#include "prof/report.hh"
 #include "ssn/schedule_trace.hh"
 #include "ssn/scheduler.hh"
 #include "trace/session.hh"
@@ -26,9 +28,15 @@ using namespace tsm;
 int
 main(int argc, char **argv)
 {
-    // --trace=FILE / --metrics / --digest instrument the SSN execution
-    // phase below (schedule replay + chips + network).
-    TraceSession session(TraceOptions::fromArgs(argc, argv));
+    // --trace=FILE / --metrics / --digest / --report=FILE instrument
+    // the SSN execution phase below (schedule replay + chips +
+    // network).
+    TraceOptions opts;
+    CliParser cli("fig08_ssn_vs_hw_contention");
+    opts.registerFlags(cli);
+    if (!cli.parse(argc, argv))
+        return 2;
+    TraceSession session(std::move(opts));
     std::printf("=== Fig 8: routed-with-contention vs "
                 "software-scheduled ===\n\n");
     // The paper's scenario: A and B both send to D, contending for
@@ -78,6 +86,11 @@ main(int argc, char **argv)
         transfers.push_back(t);
     }
     const auto schedule = scheduler.schedule(transfers);
+    if (ProfileCollector *prof = session.profile()) {
+        prof->setBench("fig08_ssn_vs_hw_contention");
+        prof->setSeed(6);
+        prof->setSchedule(schedule, topo, transfers);
+    }
     const auto report = validateSchedule(schedule, topo);
     std::printf("software-scheduled network:\n");
     std::printf("  schedule: %zu vectors, 0 conflicts (%s), makespan "

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "ssn/scheduler.hh"
 #include "ssn/spread.hh"
@@ -33,8 +34,12 @@ nodePaths(unsigned nonminimal)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig10_nonminimal_routing");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 10: benefit of non-minimal routing vs message "
                 "size and path count ===\n\n");
     Table table({"message", "KB", "1 path", "3 paths", "5 paths",

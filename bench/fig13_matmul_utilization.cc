@@ -9,13 +9,18 @@
 #include <cstdio>
 
 #include "baseline/gpu_matmul.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig13_matmul_utilization");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 13: [2304x4096][4096xN] utilization, TSP vs "
                 "A100 ===\n\n");
     const GpuModel gpu;

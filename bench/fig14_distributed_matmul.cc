@@ -8,14 +8,19 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/matmul.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig14_distributed_matmul");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 14: distributed [800x32576][32576x8192] fp16 "
                 "matmul ===\n\n");
     const TspCostModel cost;

@@ -8,14 +8,19 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/matmul.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig15_matmul_clusters");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 15: NxN matmul on 100/200/300-TSP clusters "
                 "===\n\n");
     const TspCostModel cost;

@@ -8,14 +8,19 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/bert.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig17_bert_latency");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 17: BERT-Large latency across 24,240 runs "
                 "(4 TSPs) ===\n\n");
     const TspCostModel cost;

@@ -7,14 +7,19 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/bert.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig18_bert_scaling");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 18: BERT encoder scaling (6/24/48/96 encoders "
                 "on 1/4/8/16 TSPs) ===\n\n");
     const TspCostModel cost;

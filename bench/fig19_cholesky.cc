@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "workload/cholesky.hh"
@@ -15,8 +16,12 @@
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig19_cholesky");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 19: Cholesky factorization on 1/2/4/8 TSPs "
                 "===\n\n");
 

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/bert.hh"
 
@@ -47,8 +48,12 @@ breakdown(const char *title, const BertEstimate &est)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("fig20_compiler_breakdown");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Fig 20: BERT-Large on 4 TSPs, unoptimized vs "
                 "optimized compiler ===\n\n");
     const TspCostModel cost;

@@ -12,7 +12,9 @@
 #include <memory>
 
 #include "arch/chip.hh"
+#include "common/cli.hh"
 #include "net/network.hh"
+#include "prof/report.hh"
 #include "ssn/schedule_trace.hh"
 #include "ssn/scheduler.hh"
 #include "trace/session.hh"
@@ -105,14 +107,16 @@ BM_ChipInstructionRate(benchmark::State &state)
 BENCHMARK(BM_ChipInstructionRate);
 
 /**
- * With --trace/--metrics/--digest the harness runs one instrumented
- * scenario instead of the benchmarks: a 4-flow contended transfer
- * scheduled by SSN and executed on chips, producing events from the
- * chip, network, SSN and (with --trace including it) sim categories.
+ * With --trace/--metrics/--digest/--report the harness runs one
+ * instrumented scenario instead of the benchmarks: a 4-flow contended
+ * transfer scheduled by SSN and executed on chips, producing events
+ * from the chip, network, SSN and (with --trace including it) sim
+ * categories.
  */
 int
 runTracedScenario(const TraceOptions &opts)
 {
+    constexpr std::uint64_t kSeed = 1;
     TraceSession session(opts);
     const Topology topo = Topology::makeNode();
 
@@ -127,12 +131,17 @@ runTracedScenario(const TraceOptions &opts)
         transfers.push_back(t);
     }
     const auto schedule = scheduler.schedule(transfers);
+    if (ProfileCollector *prof = session.profile()) {
+        prof->setBench("micro_harness");
+        prof->setSeed(kSeed);
+        prof->setSchedule(schedule, topo, transfers);
+    }
 
     EventQueue eq;
     session.attach(eq.tracer());
     traceSchedule(eq.tracer(), schedule);
 
-    Network net(topo, eq, Rng(1));
+    Network net(topo, eq, Rng(kSeed));
     std::vector<std::unique_ptr<TspChip>> chips;
     for (TspId t = 0; t < topo.numTsps(); ++t)
         chips.push_back(std::make_unique<TspChip>(t, net, DriftClock()));
@@ -157,8 +166,17 @@ runTracedScenario(const TraceOptions &opts)
 int
 main(int argc, char **argv)
 {
-    const tsm::TraceOptions opts = tsm::TraceOptions::fromArgs(argc, argv);
-    if (opts.tracePath.empty() && !opts.metrics && !opts.digest) {
+    tsm::TraceOptions opts;
+    tsm::CliParser cli("micro_harness");
+    opts.registerFlags(cli);
+    // Everything else belongs to google-benchmark, which rejects what
+    // it does not recognize itself.
+    cli.allowPrefix("--benchmark");
+    cli.allowPrefix("--v=");
+    if (!cli.parse(argc, argv))
+        return 2;
+    if (opts.tracePath.empty() && !opts.metrics && !opts.digest &&
+        opts.reportPath.empty()) {
         benchmark::Initialize(&argc, argv);
         if (benchmark::ReportUnrecognizedArguments(argc, argv))
             return 1;

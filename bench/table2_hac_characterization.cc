@@ -9,14 +9,19 @@
 #include <memory>
 #include <vector>
 
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "sync/link_characterizer.hh"
 
 using namespace tsm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("table2_hac_characterization");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Table 2: HAC latency characterization "
                 "(100K iterations per link) ===\n\n");
 

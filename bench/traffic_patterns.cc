@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "baseline/hw_router.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "ssn/scheduler.hh"
 #include "workload/traffic_gen.hh"
@@ -51,8 +52,12 @@ sweep(const Topology &topo, const char *title, std::uint32_t vectors)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    CliParser cli("traffic_patterns");
+    if (!cli.parse(argc, argv))
+        return 2;
+
     std::printf("=== Synthetic traffic patterns: scheduled vs routed "
                 "===\n\n");
     sweep(Topology::makeNode(), "8-TSP node", 64);

@@ -5,13 +5,15 @@
  * simulator, and verify that the simulation lands exactly where the
  * schedule said it would — the determinism the paper is about.
  *
- *   ./quickstart [--trace=FILE] [--metrics] [--digest]
+ *   ./quickstart [--trace=FILE] [--metrics] [--digest] [--report=FILE]
  */
 
 #include <cstdio>
 
 #include "arch/chip.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
+#include "prof/report.hh"
 #include "ssn/schedule_trace.hh"
 #include "ssn/scheduler.hh"
 #include "trace/session.hh"
@@ -21,7 +23,12 @@ using namespace tsm;
 int
 main(int argc, char **argv)
 {
-    TraceSession session(TraceOptions::fromArgs(argc, argv));
+    TraceOptions opts;
+    CliParser cli("quickstart");
+    opts.registerFlags(cli);
+    if (!cli.parse(argc, argv))
+        return 2;
+    TraceSession session(std::move(opts));
     // 1. The machine: one GroqNode-style chassis — 8 TSPs, fully
     //    connected by 28 C2C links (7 local ports each).
     const Topology topo = Topology::makeNode();
@@ -48,6 +55,11 @@ main(int argc, char **argv)
     //    routed". Large tensors spread over non-minimal paths.
     SsnScheduler scheduler(topo);
     const NetworkSchedule schedule = scheduler.schedule({transfer});
+    if (ProfileCollector *prof = session.profile()) {
+        prof->setBench("quickstart");
+        prof->setSeed(42);
+        prof->setSchedule(schedule, topo, {transfer});
+    }
     traceSchedule(eq.tracer(), schedule);
     const auto &flow = schedule.flows.at(1);
     std::printf("scheduled %u vectors over %u paths; "

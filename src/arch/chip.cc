@@ -162,9 +162,15 @@ TspChip::issue()
         return;
     }
     if (i.op == Op::PollRecv && next == kTickInvalid) {
-        // Poll failed; retry the same instruction next epoch.
+        // Poll failed; retry the same instruction next epoch. The wait
+        // is a stall the profiler attributes to the SXM receive path.
         --stats_.instrsExecuted;
-        scheduleIssue(nextEpochStart(now() + 1));
+        const Tick retry = nextEpochStart(now() + 1);
+        if (tracer.wants(TraceCat::Chip))
+            tracer.emit({now(), retry - now(), TraceCat::Chip, id_,
+                         "poll_wait", std::int64_t(pc_),
+                         std::int64_t(localCycle())});
+        scheduleIssue(retry);
         return;
     }
 

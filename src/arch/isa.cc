@@ -36,6 +36,81 @@ opName(Op op)
     return "?";
 }
 
+const char *
+funcUnitName(FuncUnit u)
+{
+    switch (u) {
+      case FuncUnit::MXM: return "MXM";
+      case FuncUnit::VXM: return "VXM";
+      case FuncUnit::SXM: return "SXM";
+      case FuncUnit::MEM: return "MEM";
+      case FuncUnit::ICU: return "ICU";
+    }
+    return "?";
+}
+
+FuncUnit
+opUnit(Op op)
+{
+    switch (op) {
+      case Op::MxmLoadWeights:
+      case Op::MxmClear:
+      case Op::MxmMatMul:
+      // Opaque compute blocks stand in for matrix work in the workload
+      // models, so their cycles are charged to the MXM.
+      case Op::Compute:
+        return FuncUnit::MXM;
+
+      case Op::VAdd:
+      case Op::VSub:
+      case Op::VMul:
+      case Op::VScale:
+      case Op::VRsqrt:
+      case Op::VSplat:
+      case Op::VCopy:
+        return FuncUnit::VXM;
+
+      case Op::SxmRotate:
+      case Op::Send:
+      case Op::Recv:
+      case Op::PollRecv:
+      case Op::Transmit:
+        return FuncUnit::SXM;
+
+      case Op::Read:
+      case Op::Write:
+        return FuncUnit::MEM;
+
+      case Op::Nop:
+      case Op::Halt:
+      case Op::Sync:
+      case Op::Notify:
+      case Op::Deskew:
+      case Op::RuntimeDeskew:
+        return FuncUnit::ICU;
+    }
+    return FuncUnit::ICU;
+}
+
+OpTimeClass
+opTimeClass(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Halt:
+        return OpTimeClass::Idle;
+
+      case Op::Sync:
+      case Op::Deskew:
+      case Op::RuntimeDeskew:
+      case Op::PollRecv:
+        return OpTimeClass::Stall;
+
+      default:
+        return OpTimeClass::Busy;
+    }
+}
+
 std::string
 Instr::str() const
 {

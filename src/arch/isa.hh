@@ -73,8 +73,45 @@ enum class Op : std::uint8_t
     RuntimeDeskew, ///< stall imm +/- (SAC - HAC) cycles, realign SAC
 };
 
+/** Number of opcodes (for tables indexed by Op). */
+inline constexpr unsigned kNumOps = unsigned(Op::RuntimeDeskew) + 1;
+
 /** Printable opcode mnemonic. */
 const char *opName(Op op);
+
+/**
+ * Functional unit of the TSP an instruction occupies (paper Fig 3):
+ * the matrix unit, vector ALUs, the switch unit (which also houses the
+ * C2C modules, so communication ops land here), the memory slices, or
+ * the instruction control unit for issue-only / timing ops.
+ */
+enum class FuncUnit : std::uint8_t
+{
+    MXM, ///< matrix execution module
+    VXM, ///< vector execution module
+    SXM, ///< switch execution module + C2C
+    MEM, ///< SRAM memory slices
+    ICU, ///< instruction control (NOP, sync/deskew machinery, HALT)
+};
+
+inline constexpr unsigned kNumFuncUnits = 5;
+
+/** Short name of a functional unit ("MXM", "VXM", ...). */
+const char *funcUnitName(FuncUnit u);
+
+/** The functional unit `op` executes on. */
+FuncUnit opUnit(Op op);
+
+/** How profiling attributes an instruction's issue-slot occupancy. */
+enum class OpTimeClass : std::uint8_t
+{
+    Busy,  ///< productive work on opUnit(op)
+    Stall, ///< waiting for time alignment or an operand (deskew, poll)
+    Idle,  ///< deliberately empty issue slots (NOP, HALT)
+};
+
+/** Busy/stall/idle classification of `op` for cycle attribution. */
+OpTimeClass opTimeClass(Op op);
 
 /** One decoded instruction. */
 struct Instr

@@ -1,0 +1,151 @@
+#include "common/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tsm {
+
+void
+CliParser::addFlag(std::string name, bool *out, std::string help)
+{
+    Flag f;
+    f.name = std::move(name);
+    f.boolOut = out;
+    f.help = std::move(help);
+    flags_.push_back(std::move(f));
+}
+
+void
+CliParser::addValue(std::string name, std::string *out, std::string help)
+{
+    Flag f;
+    f.name = std::move(name);
+    f.strOut = out;
+    f.help = std::move(help);
+    flags_.push_back(std::move(f));
+}
+
+void
+CliParser::addValue(std::string name, unsigned *out, std::string help)
+{
+    Flag f;
+    f.name = std::move(name);
+    f.uintOut = out;
+    f.help = std::move(help);
+    flags_.push_back(std::move(f));
+}
+
+void
+CliParser::allowPrefix(std::string prefix)
+{
+    prefixes_.push_back(std::move(prefix));
+}
+
+std::string
+CliParser::usage() const
+{
+    std::string out = "usage: " + prog_;
+    out += flags_.empty() ? "\n" : " [flags]\n";
+    for (const auto &f : flags_) {
+        out += "  " + f.name;
+        if (f.takesValue())
+            out += f.uintOut ? "=N" : "=VALUE";
+        if (!f.help.empty())
+            out += "   " + f.help;
+        out += '\n';
+    }
+    for (const auto &p : prefixes_)
+        out += "  " + p + "*   passed through\n";
+    return out;
+}
+
+bool
+CliParser::parse(int &argc, char **argv)
+{
+    int out = 1;
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+
+        const Flag *match = nullptr;
+        std::string value;
+        for (const auto &f : flags_) {
+            if (f.takesValue()) {
+                if (arg.size() > f.name.size() + 1 &&
+                    arg.compare(0, f.name.size(), f.name) == 0 &&
+                    arg[f.name.size()] == '=') {
+                    match = &f;
+                    value = arg.substr(f.name.size() + 1);
+                    break;
+                }
+                if (arg == f.name) {
+                    std::fprintf(stderr, "%s: flag %s requires a value "
+                                         "(%s=...)\n",
+                                 prog_.c_str(), f.name.c_str(),
+                                 f.name.c_str());
+                    ok = false;
+                    match = &f;
+                    value.clear();
+                    break;
+                }
+            } else if (arg == f.name) {
+                match = &f;
+                break;
+            }
+        }
+
+        if (match) {
+            if (!ok)
+                continue;
+            if (match->boolOut) {
+                *match->boolOut = true;
+            } else if (match->strOut) {
+                *match->strOut = value;
+            } else if (match->uintOut) {
+                char *end = nullptr;
+                const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+                if (end == value.c_str() || *end != '\0') {
+                    std::fprintf(stderr,
+                                 "%s: flag %s expects an unsigned integer, "
+                                 "got \"%s\"\n",
+                                 prog_.c_str(), match->name.c_str(),
+                                 value.c_str());
+                    ok = false;
+                } else {
+                    *match->uintOut = unsigned(v);
+                }
+            }
+            continue;
+        }
+
+        bool passthrough = positionals_ && !arg.empty() && arg[0] != '-';
+        for (const auto &p : prefixes_) {
+            if (passthrough)
+                break;
+            if (arg.compare(0, p.size(), p) == 0) {
+                passthrough = true;
+                break;
+            }
+        }
+        if (passthrough) {
+            argv[out++] = argv[i];
+            continue;
+        }
+
+        std::fprintf(stderr, "%s: unknown argument \"%s\"\n", prog_.c_str(),
+                     arg.c_str());
+        ok = false;
+    }
+    argc = out;
+    if (!ok)
+        std::fputs(usage().c_str(), stderr);
+    return ok;
+}
+
+} // namespace tsm

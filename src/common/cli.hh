@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared command-line flag parsing for the bench binaries, examples
+ * and tools.
+ *
+ * Every binary registers the flags it understands; parse() strips the
+ * recognized ones from argv (so downstream parsers such as
+ * google-benchmark never see them) and *rejects* anything unrecognized
+ * with a clear error on stderr — a silently ignored flag means a bench
+ * run measured something other than what was asked for. Binaries that
+ * hand leftover arguments to another parser whitelist them by prefix
+ * (micro_harness allows "--benchmark_").
+ */
+
+#ifndef TSM_COMMON_CLI_HH
+#define TSM_COMMON_CLI_HH
+
+#include <string>
+#include <vector>
+
+namespace tsm {
+
+/** Declarative flag registry with strict unknown-flag rejection. */
+class CliParser
+{
+  public:
+    /** @param prog Program name used in error/usage messages. */
+    explicit CliParser(std::string prog) : prog_(std::move(prog)) {}
+
+    /** Register a boolean flag: `--name` sets *out to true. */
+    void addFlag(std::string name, bool *out, std::string help = "");
+
+    /** Register a value flag: `--name=VALUE` stores VALUE in *out. */
+    void addValue(std::string name, std::string *out,
+                  std::string help = "");
+
+    /** Register an unsigned value flag: `--name=N`. */
+    void addValue(std::string name, unsigned *out, std::string help = "");
+
+    /**
+     * Let arguments starting with `prefix` pass through unparsed (they
+     * stay in argv for a downstream parser).
+     */
+    void allowPrefix(std::string prefix);
+
+    /**
+     * Let arguments not starting with '-' pass through as positional
+     * operands (they stay in argv). Off by default: a bench binary
+     * takes no operands, so a stray word is an error.
+     */
+    void allowPositional() { positionals_ = true; }
+
+    /**
+     * Scan argv, consuming registered flags in place (argc is
+     * updated). On an unknown or malformed argument, print an error
+     * and the known-flag list to stderr and return false — callers
+     * must then exit non-zero. `--help` prints usage to stdout and
+     * also returns false.
+     */
+    bool parse(int &argc, char **argv);
+
+    /** One-line-per-flag usage text. */
+    std::string usage() const;
+
+  private:
+    struct Flag
+    {
+        std::string name; ///< including leading dashes, e.g. "--trace"
+        bool *boolOut = nullptr;
+        std::string *strOut = nullptr;
+        unsigned *uintOut = nullptr;
+        std::string help;
+
+        bool takesValue() const { return boolOut == nullptr; }
+    };
+
+    std::string prog_;
+    std::vector<Flag> flags_;
+    std::vector<std::string> prefixes_;
+    bool positionals_ = false;
+};
+
+} // namespace tsm
+
+#endif // TSM_COMMON_CLI_HH

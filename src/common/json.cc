@@ -1,0 +1,509 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+namespace {
+
+const Json kNullJson;
+
+/**
+ * Fixed-point double formatting with trailing-zero trimming: enough
+ * digits to be useful, few enough to be readable, and — critically —
+ * deterministic for identical inputs.
+ */
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan; reports never produce them
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    std::string s = buf;
+    while (s.size() > 1 && s.back() == '0')
+        s.pop_back();
+    if (s.back() == '.')
+        s.push_back('0');
+    return s;
+}
+
+void
+escapeTo(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+/** Strict recursive-descent parser over a byte range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    Json
+    run()
+    {
+        Json v = value();
+        skipWs();
+        if (ok_ && pos_ != text_.size())
+            fail("trailing characters after document");
+        return ok_ ? std::move(v) : Json();
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (ok_ && error_)
+            *error_ = why + " at offset " + std::to_string(pos_);
+        ok_ = false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return {};
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return {};
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p)
+            if (!consume(*p)) {
+                fail(std::string("bad literal, expected \"") + word + '"');
+                return;
+            }
+    }
+
+    Json
+    boolean()
+    {
+        if (text_[pos_] == 't') {
+            literal("true");
+            return Json(true);
+        }
+        literal("false");
+        return Json(false);
+    }
+
+    Json
+    number()
+    {
+        const std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("expected a value");
+            return {};
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (tok.find_first_of(".eE") == std::string::npos) {
+            errno = 0;
+            char *end = nullptr;
+            const long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (end == tok.c_str() + tok.size() && errno == 0)
+                return Json(std::int64_t(v));
+        }
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            fail("malformed number \"" + tok + '"');
+            return {};
+        }
+        return Json(d);
+    }
+
+    std::string
+    string()
+    {
+        std::string out;
+        consume('"');
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return out;
+                    }
+                    const std::string hex = text_.substr(pos_, 4);
+                    pos_ += 4;
+                    const long cp = std::strtol(hex.c_str(), nullptr, 16);
+                    if (cp < 0x80) {
+                        out.push_back(char(cp));
+                    } else {
+                        // Non-ASCII escapes are out of scope for the
+                        // report format; keep a replacement char.
+                        out.push_back('?');
+                    }
+                    break;
+                  }
+                  default: fail("bad escape"); return out;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Json
+    array()
+    {
+        Json out = Json::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return out;
+        for (;;) {
+            out.push(value());
+            if (!ok_)
+                return out;
+            skipWs();
+            if (consume(']'))
+                return out;
+            if (!consume(',')) {
+                fail("expected ',' or ']'");
+                return out;
+            }
+        }
+    }
+
+    Json
+    object()
+    {
+        Json out = Json::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return out;
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return out;
+            }
+            std::string key = string();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':'");
+                return out;
+            }
+            out.set(key, value());
+            if (!ok_)
+                return out;
+            skipWs();
+            if (consume('}'))
+                return out;
+            if (!consume(',')) {
+                fail("expected ',' or '}'");
+                return out;
+            }
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace
+
+Json::Json(std::uint64_t v)
+{
+    if (v <= std::uint64_t(INT64_MAX)) {
+        kind_ = Kind::Int;
+        int_ = std::int64_t(v);
+    } else {
+        kind_ = Kind::Double;
+        dbl_ = double(v);
+    }
+}
+
+Json::Json(double v)
+{
+    // Store integral doubles as exact integers so counters that pass
+    // through double arithmetic still print exactly.
+    if (std::isfinite(v) && std::nearbyint(v) == v &&
+        std::abs(v) < 9.0e15) {
+        kind_ = Kind::Int;
+        int_ = std::int64_t(v);
+    } else {
+        kind_ = Kind::Double;
+        dbl_ = v;
+    }
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+Json::boolean() const
+{
+    TSM_ASSERT(kind_ == Kind::Bool, "not a boolean");
+    return bool_;
+}
+
+std::int64_t
+Json::integer() const
+{
+    TSM_ASSERT(kind_ == Kind::Int, "not an integer");
+    return int_;
+}
+
+double
+Json::number() const
+{
+    TSM_ASSERT(isNumber(), "not a number");
+    return kind_ == Kind::Int ? double(int_) : dbl_;
+}
+
+const std::string &
+Json::str() const
+{
+    TSM_ASSERT(kind_ == Kind::String, "not a string");
+    return str_;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    return 0;
+}
+
+Json &
+Json::push(Json v)
+{
+    TSM_ASSERT(kind_ == Kind::Array, "push on a non-array");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    TSM_ASSERT(kind_ == Kind::Array && i < arr_.size(),
+               "array index out of range");
+    return arr_[i];
+}
+
+const std::vector<Json> &
+Json::items() const
+{
+    TSM_ASSERT(kind_ == Kind::Array, "not an array");
+    return arr_;
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    TSM_ASSERT(kind_ == Kind::Object, "set on a non-object");
+    for (auto &[k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    if (kind_ == Kind::Object)
+        for (const auto &[k, v] : obj_)
+            if (k == key)
+                return v;
+    return kNullJson;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return false;
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    TSM_ASSERT(kind_ == Kind::Object, "not an object");
+    return obj_;
+}
+
+void
+Json::dumpTo(std::string &out, unsigned indent, unsigned depth) const
+{
+    const auto newline = [&](unsigned d) {
+        if (indent == 0)
+            return;
+        out.push_back('\n');
+        out.append(std::size_t(indent) * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null: out += "null"; break;
+      case Kind::Bool: out += bool_ ? "true" : "false"; break;
+      case Kind::Int: out += std::to_string(int_); break;
+      case Kind::Double: out += formatDouble(dbl_); break;
+      case Kind::String: escapeTo(out, str_); break;
+
+      case Kind::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back(']');
+        break;
+
+      case Kind::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newline(depth + 1);
+            escapeTo(out, obj_[i].first);
+            out.push_back(':');
+            if (indent)
+                out.push_back(' ');
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(unsigned indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    return Parser(text, error).run();
+}
+
+} // namespace tsm

@@ -159,6 +159,83 @@ Histogram::ascii(unsigned max_width, bool skip_empty) const
     return out;
 }
 
+void
+Log2Histogram::add(std::uint64_t v)
+{
+    ++buckets_[bucketOf(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Log2Histogram::reset()
+{
+    *this = Log2Histogram();
+}
+
+double
+Log2Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : double(sum_) / double(count_);
+}
+
+unsigned
+Log2Histogram::bucketOf(std::uint64_t v)
+{
+    unsigned width = 0;
+    while (v != 0) {
+        ++width;
+        v >>= 1;
+    }
+    return width;
+}
+
+std::uint64_t
+Log2Histogram::bucketLo(unsigned b)
+{
+    TSM_ASSERT(b < kBuckets, "bucket out of range");
+    return b == 0 ? 0 : std::uint64_t(1) << (b - 1);
+}
+
+std::uint64_t
+Log2Histogram::bucketHi(unsigned b)
+{
+    TSM_ASSERT(b < kBuckets, "bucket out of range");
+    if (b == 0)
+        return 0;
+    if (b == kBuckets - 1)
+        return ~std::uint64_t(0);
+    return (std::uint64_t(1) << b) - 1;
+}
+
+std::uint64_t
+Log2Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::uint64_t acc = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        acc += buckets_[b];
+        if (double(acc) >= q * double(count_))
+            return std::min(bucketHi(b), max_);
+    }
+    return max_;
+}
+
 double
 SampleSet::percentile(double q) const
 {

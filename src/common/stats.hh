@@ -104,6 +104,69 @@ class Histogram
 };
 
 /**
+ * Fixed-bucket base-2 logarithmic histogram over unsigned samples.
+ *
+ * Bucket b holds samples whose bit width is b: bucket 0 holds the
+ * value 0, bucket 1 holds {1}, bucket 2 holds [2,4), bucket b holds
+ * [2^(b-1), 2^b). 65 buckets cover the whole uint64 range in constant
+ * memory, which makes this the right shape for long-running profiling
+ * counters (queueing delays, stall lengths) where an exact SampleSet
+ * would grow without bound. Percentiles resolve to a bucket upper
+ * bound — a known <=2x overestimate, consistent everywhere.
+ */
+class Log2Histogram
+{
+  public:
+    /** Number of buckets (bit widths 0..64). */
+    static constexpr unsigned kBuckets = 65;
+
+    /** Record one sample. */
+    void add(std::uint64_t v);
+
+    /** Merge another histogram's counts into this one. */
+    void merge(const Log2Histogram &other);
+
+    /** Clear all recorded samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const;
+    std::uint64_t sum() const { return sum_; }
+
+    /** Bucket index a value falls into (its bit width). */
+    static unsigned bucketOf(std::uint64_t v);
+
+    /** Inclusive lower bound of bucket b (0, 1, 2, 4, 8, ...). */
+    static std::uint64_t bucketLo(unsigned b);
+
+    /** Inclusive upper bound of bucket b (0, 1, 3, 7, 15, ...). */
+    static std::uint64_t bucketHi(unsigned b);
+
+    /** Count in bucket b. */
+    std::uint64_t bucketCount(unsigned b) const { return buckets_[b]; }
+
+    /**
+     * Smallest bucket upper bound v such that at least q (in [0,1]) of
+     * all samples are <= v; clamped to the exact observed max. 0 when
+     * empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+};
+
+/**
  * Exact percentile over a retained sample set. Memory grows with the
  * sample count; use for bounded experiment sizes.
  */

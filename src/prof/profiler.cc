@@ -1,0 +1,215 @@
+#include "prof/profiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.hh"
+
+namespace tsm {
+
+Cycle
+ChipAccount::busyTotal() const
+{
+    Cycle total = 0;
+    for (unsigned u = 0; u < kNumFuncUnits; ++u)
+        total += busy[u];
+    return total;
+}
+
+ProfilerSink::ProfilerSink()
+{
+    for (unsigned o = 0; o < kNumOps; ++o)
+        opByName_.emplace(opName(Op(o)), Op(o));
+}
+
+void
+ProfilerSink::event(const TraceEvent &ev)
+{
+    ++events_;
+    spanPs_ = std::max(spanPs_, ev.tick + ev.dur);
+    switch (ev.cat) {
+      case TraceCat::Chip:
+        chipEvent(ev);
+        break;
+      case TraceCat::Net:
+        netEvent(ev);
+        break;
+      case TraceCat::Ssn:
+        ssnEvent(ev);
+        break;
+      case TraceCat::Sync:
+        syncEvent(ev);
+        break;
+      default:
+        break;
+    }
+}
+
+/**
+ * Charge the pending instruction's occupancy within the [pend.cycle,
+ * until) gap to its class, and the remainder of the gap to idle. The
+ * single-sequence chip model issues instructions strictly in cycle
+ * order, so consecutive gaps tile the chip's span exactly — which is
+ * what makes busy + stall + idle == total an invariant rather than an
+ * approximation.
+ */
+void
+ProfilerSink::charge(ChipAccount &acct, Pending &pend, Cycle until)
+{
+    if (!pend.valid)
+        return;
+    const Cycle gap = until >= pend.cycle ? until - pend.cycle : 0;
+    const Cycle occupied = std::min(gap, pend.durCycles);
+    switch (pend.cls) {
+      case OpTimeClass::Busy:
+        acct.busy[unsigned(pend.unit)] += occupied;
+        break;
+      case OpTimeClass::Stall:
+        acct.stall += occupied;
+        break;
+      case OpTimeClass::Idle:
+        acct.idle += occupied;
+        break;
+    }
+    acct.idle += gap - occupied;
+    pend.valid = false;
+}
+
+void
+ProfilerSink::chipEvent(const TraceEvent &ev)
+{
+    const TspId chip = ev.actor;
+    const Cycle cycle = Cycle(ev.b);
+    ChipAccount &acct = chips_[chip];
+    Pending &pend = pending_[chip];
+
+    if (acct.instrs == 0 && !pend.valid)
+        acct.firstCycle = cycle;
+    charge(acct, pend, cycle);
+    acct.lastCycle = std::max(acct.lastCycle, cycle);
+
+    if (std::string_view(ev.name) == "halt") {
+        acct.halted = true;
+        return;
+    }
+
+    Pending next;
+    next.valid = true;
+    next.cycle = cycle;
+    next.durCycles = Cycle(std::llround(double(ev.dur) / kCorePeriodPs));
+    if (std::string_view(ev.name) == "poll_wait") {
+        // A PollRecv that found nothing and is waiting for the next
+        // poll epoch: time the chip spends blocked on the network.
+        next.unit = FuncUnit::SXM;
+        next.cls = OpTimeClass::Stall;
+    } else {
+        auto it = opByName_.find(ev.name);
+        if (it == opByName_.end())
+            return; // unknown marker: contributes nothing
+        next.unit = opUnit(it->second);
+        next.cls = opTimeClass(it->second);
+        ++acct.instrs;
+    }
+    pend = next;
+}
+
+void
+ProfilerSink::netEvent(const TraceEvent &ev)
+{
+    const std::string_view name(ev.name);
+    if (name == "tx") {
+        LinkAccount &acct = links_[LinkId(ev.actor)];
+        ++acct.flits;
+        acct.busyPs += Tick(std::llround(kVectorSerializationPs));
+    } else if (name == "rx") {
+        // Data flits queue here until their consuming Recv (the "mbe"
+        // variant still delivers — FEC detects but does not retry).
+        const FlowId flow = FlowId(ev.a);
+        if (flow != kFlowHacExchange && flow != kFlowSyncToken &&
+            flow != kFlowInvalid) {
+            inFlight_[{flow, std::uint32_t(ev.b)}].push_back(
+                {ev.tick, LinkId(ev.actor)});
+        }
+    } else if (name == "mbe") {
+        ++links_[LinkId(ev.actor)].mbes;
+    }
+}
+
+void
+ProfilerSink::ssnEvent(const TraceEvent &ev)
+{
+    const std::string_view name(ev.name);
+    if (name == "send") {
+        ++sendEvents_;
+        return;
+    }
+    if (name != "recv" && name != "corrupt")
+        return; // schedule-replay markers (hop/flow/makespan)
+
+    ++recvEvents_;
+    lastRecvTick_ = std::max(lastRecvTick_, ev.tick);
+
+    // Pair this consuming Recv with the oldest matching arrival: the
+    // difference is how long the flit sat in the receive queue, i.e.
+    // the margin the SSN schedule budgeted at this receiver.
+    auto it = inFlight_.find({FlowId(ev.a), std::uint32_t(ev.b)});
+    if (it == inFlight_.end() || it->second.empty())
+        return;
+    const auto [arrivedAt, link] = it->second.front();
+    it->second.erase(it->second.begin());
+    if (it->second.empty())
+        inFlight_.erase(it);
+    const Tick delay = ev.tick >= arrivedAt ? ev.tick - arrivedAt : 0;
+    queueAll_.add(delay);
+    reg_.histogram(format("net.link{}.queue_delay_ps", link)).add(delay);
+}
+
+void
+ProfilerSink::syncEvent(const TraceEvent &ev)
+{
+    const std::string_view name(ev.name);
+    if (name == "hac_tx") {
+        ++hac_.updatesSent;
+    } else if (name == "hac_adj") {
+        ++hac_.adjustments;
+        const std::uint64_t mag = std::uint64_t(std::llabs(ev.a));
+        hac_.sumAbsDelta += mag;
+        hac_.maxAbsDelta = std::max(hac_.maxAbsDelta, mag);
+        hac_.sumAbsStep += std::uint64_t(std::llabs(ev.b));
+        if (hac_.timeline.size() < HacAccount::kTimelineCap)
+            hac_.timeline.push_back({ev.tick, int(ev.a), int(ev.b)});
+    }
+}
+
+void
+ProfilerSink::finish()
+{
+    // Close out instructions still pending at end of stream: charge
+    // their full modeled occupancy and extend the chip's span to
+    // cover it.
+    for (auto &[chip, pend] : pending_) {
+        if (!pend.valid)
+            continue;
+        ChipAccount &acct = chips_[chip];
+        const Cycle end = pend.cycle + pend.durCycles;
+        charge(acct, pend, end);
+        acct.lastCycle = std::max(acct.lastCycle, end);
+    }
+}
+
+const Log2Histogram *
+ProfilerSink::queueDelay(LinkId link) const
+{
+    return reg_.findHistogram(format("net.link{}.queue_delay_ps", link));
+}
+
+std::uint64_t
+ProfilerSink::totalFlits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[link, acct] : links_)
+        total += acct.flits;
+    return total;
+}
+
+} // namespace tsm

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The attribution profiler: a TraceSink that folds the PR-1 trace
+ * stream into accounts that *explain* where cycles went.
+ *
+ *  - Per chip, per functional unit (MXM/VXM/SXM/MEM): busy, stall and
+ *    idle cycles that always sum to the chip's observed span. Each
+ *    instruction-issue event charges its occupancy to its unit's
+ *    class (arch/isa.hh opUnit/opTimeClass); any gap to the next
+ *    issue is idle by definition — the single-sequence model makes
+ *    this exact.
+ *  - Per link: flits carried, serialization-busy time, and a log2
+ *    histogram of receive queueing delay (flit arrival to the
+ *    consuming Recv), the slack the SSN schedule left at the
+ *    receiver. Histograms live in a MetricsRegistry so --metrics
+ *    reporting and the profiler share one mechanism.
+ *  - HAC alignment telemetry: every observed drift delta and applied
+ *    correction, with a bounded timeline for convergence plots.
+ *  - The simulated completion time of the scheduled communication,
+ *    for comparison against the static prediction
+ *    (prof/ssn_analysis.hh).
+ *
+ * The sink is order-tolerant across chips/links (events interleave on
+ * the global timeline) but relies on per-actor event order, which the
+ * single-threaded event queue guarantees.
+ */
+
+#ifndef TSM_PROF_PROFILER_HH
+#define TSM_PROF_PROFILER_HH
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/isa.hh"
+#include "common/units.hh"
+#include "net/flit.hh"
+#include "net/topology.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+
+namespace tsm {
+
+/** Per-chip attributed cycle account. */
+struct ChipAccount
+{
+    /** Local cycle of the first/last observed issue. */
+    Cycle firstCycle = 0;
+    Cycle lastCycle = 0;
+
+    /** Busy cycles charged to each functional unit. */
+    Cycle busy[kNumFuncUnits] = {};
+
+    /** Chip-wide stall cycles (deskew, poll waits). */
+    Cycle stall = 0;
+
+    /** Empty issue slots (NOPs, waits for scheduled cycles). */
+    Cycle idle = 0;
+
+    std::uint64_t instrs = 0;
+    bool halted = false;
+
+    /** Observed span; busy + stall + idle always equals this. */
+    Cycle totalCycles() const { return lastCycle - firstCycle; }
+
+    Cycle busyTotal() const;
+};
+
+/** Per-link traffic account (both directions folded together). */
+struct LinkAccount
+{
+    std::uint64_t flits = 0;
+    std::uint64_t mbes = 0;
+
+    /** Transmitter serialization time. */
+    Tick busyPs = 0;
+};
+
+/** HAC alignment telemetry. */
+struct HacAccount
+{
+    /** Parent update transmissions observed. */
+    std::uint64_t updatesSent = 0;
+
+    /** Child adjustment events observed. */
+    std::uint64_t adjustments = 0;
+
+    /** Sum / max of |observed drift delta| in cycles. */
+    std::uint64_t sumAbsDelta = 0;
+    std::uint64_t maxAbsDelta = 0;
+
+    /** Sum of |applied correction| in cycles. */
+    std::uint64_t sumAbsStep = 0;
+
+    /** First observations of (tick, delta, step), bounded. */
+    static constexpr std::size_t kTimelineCap = 256;
+    struct Sample
+    {
+        Tick tick;
+        int delta;
+        int step;
+    };
+    std::vector<Sample> timeline;
+};
+
+/** Folds the trace stream into the accounts above. */
+class ProfilerSink : public TraceSink
+{
+  public:
+    ProfilerSink();
+
+    /** Everything except the per-dispatch Sim firehose. */
+    unsigned categoryMask() const override { return kTraceDefaultCats; }
+
+    void event(const TraceEvent &ev) override;
+
+    /** Close out still-pending instruction occupancies. */
+    void finish() override;
+
+    /// @name Accounts (keyed deterministically, ascending id)
+    /// @{
+    const std::map<TspId, ChipAccount> &chips() const { return chips_; }
+    const std::map<LinkId, LinkAccount> &links() const { return links_; }
+    const HacAccount &hac() const { return hac_; }
+
+    /** Registry holding the per-link queue-delay histograms. */
+    const MetricsRegistry &metrics() const { return reg_; }
+
+    /** Queue-delay histogram of one link, or nullptr. */
+    const Log2Histogram *queueDelay(LinkId link) const;
+
+    /** Queue-delay histogram over all links. */
+    const Log2Histogram &queueDelayAll() const { return queueAll_; }
+    /// @}
+
+    /// @name Stream-level summary
+    /// @{
+    std::uint64_t events() const { return events_; }
+
+    /** Latest point any event touches (tick + duration). */
+    Tick spanPs() const { return spanPs_; }
+
+    /** Scheduled-transfer receive events seen / last one's tick. */
+    std::uint64_t recvEvents() const { return recvEvents_; }
+    Tick lastRecvTick() const { return lastRecvTick_; }
+
+    /** Scheduled-transfer send events seen. */
+    std::uint64_t sendEvents() const { return sendEvents_; }
+
+    /** Total data flits carried across all links. */
+    std::uint64_t totalFlits() const;
+    /// @}
+
+  private:
+    struct Pending
+    {
+        bool valid = false;
+        Cycle cycle = 0;
+        Cycle durCycles = 0;
+        FuncUnit unit = FuncUnit::ICU;
+        OpTimeClass cls = OpTimeClass::Idle;
+    };
+
+    void chipEvent(const TraceEvent &ev);
+    void netEvent(const TraceEvent &ev);
+    void ssnEvent(const TraceEvent &ev);
+    void syncEvent(const TraceEvent &ev);
+    void charge(ChipAccount &acct, Pending &pend, Cycle until);
+
+    std::map<TspId, ChipAccount> chips_;
+    std::map<LinkId, LinkAccount> links_;
+    std::unordered_map<TspId, Pending> pending_;
+    HacAccount hac_;
+    MetricsRegistry reg_;
+    Log2Histogram queueAll_;
+
+    /** In-flight flits awaiting their consuming Recv: (flow,seq). */
+    std::map<std::pair<FlowId, std::uint32_t>,
+             std::vector<std::pair<Tick, LinkId>>>
+        inFlight_;
+
+    /** Mnemonic -> opcode, for attributing chip events. */
+    std::unordered_map<std::string, Op> opByName_;
+
+    std::uint64_t events_ = 0;
+    Tick spanPs_ = 0;
+    std::uint64_t recvEvents_ = 0;
+    std::uint64_t sendEvents_ = 0;
+    Tick lastRecvTick_ = 0;
+};
+
+} // namespace tsm
+
+#endif // TSM_PROF_PROFILER_HH

@@ -1,0 +1,5 @@
+tsm_module(prof
+    profiler.cc
+    report.cc
+    ssn_analysis.cc
+)

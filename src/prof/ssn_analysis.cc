@@ -1,0 +1,216 @@
+#include "prof/ssn_analysis.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace tsm {
+
+const char *
+critEdgeName(CritEdge e)
+{
+    switch (e) {
+      case CritEdge::Start: return "start";
+      case CritEdge::Pipeline: return "pipeline";
+      case CritEdge::Contention: return "contention";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Serialization window per vector per link direction, in cycles. Must
+ * match the ReservationLedger default the scheduler builds with (and
+ * the hard-coded window in validateSchedule).
+ */
+constexpr Cycle kWindowCycles = 24;
+
+/** Position of one hop in the schedule, sortable by departure. */
+struct HopRef
+{
+    Cycle depart;
+    std::uint32_t vec;
+    std::uint32_t hop;
+
+    bool operator<(const HopRef &o) const { return depart < o.depart; }
+};
+
+/** Latest entry departing strictly before `cycle`, or nullptr. */
+const HopRef *
+latestBefore(const std::vector<HopRef> &sorted, Cycle cycle)
+{
+    auto it = std::lower_bound(sorted.begin(), sorted.end(),
+                               HopRef{cycle, 0, 0});
+    if (it == sorted.begin())
+        return nullptr;
+    return &*std::prev(it);
+}
+
+} // namespace
+
+SsnAnalysis
+analyzeSchedule(const NetworkSchedule &sched, const Topology &topo,
+                const std::vector<TensorTransfer> &transfers)
+{
+    SsnAnalysis out;
+    out.makespan = sched.makespan;
+    if (sched.vectors.empty())
+        return out;
+
+    std::unordered_map<FlowId, Cycle> earliestOf;
+    for (const TensorTransfer &t : transfers)
+        earliestOf[t.flow] = t.earliest;
+    auto flowEarliest = [&](FlowId f) -> Cycle {
+        auto it = earliestOf.find(f);
+        return it == earliestOf.end() ? Cycle(0) : it->second;
+    };
+
+    // Index every hop by link direction and by transmitting chip so
+    // the walk can find the vector occupying the preceding
+    // serialization window / issue slot.
+    std::unordered_map<std::uint64_t, std::vector<HopRef>> byDir;
+    std::unordered_map<TspId, std::vector<HopRef>> byChip;
+    for (std::uint32_t v = 0; v < sched.vectors.size(); ++v) {
+        const ScheduledVector &sv = sched.vectors[v];
+        for (std::uint32_t h = 0; h < sv.hops.size(); ++h) {
+            const ScheduledHop &hop = sv.hops[h];
+            const Link &link = topo.links()[hop.link];
+            const std::uint64_t dir = std::uint64_t(hop.link) * 2 +
+                                      (link.a == hop.from ? 0 : 1);
+            byDir[dir].push_back({hop.depart, v, h});
+            byChip[hop.from].push_back({hop.depart, v, h});
+        }
+    }
+    for (auto &[dir, refs] : byDir)
+        std::sort(refs.begin(), refs.end());
+    for (auto &[chip, refs] : byChip)
+        std::sort(refs.begin(), refs.end());
+
+    // Earliest cycle hop `h` of `sv` could have departed, ignoring
+    // link/issue-slot contention.
+    auto minFeasible = [&](const ScheduledVector &sv, std::size_t h) {
+        if (h == 0)
+            return flowEarliest(sv.flow);
+        const Link &prev = topo.links()[sv.hops[h - 1].link];
+        (void)prev;
+        return sv.hops[h - 1].arrive + forwardCycles();
+    };
+
+    // Whole-schedule slack accounting.
+    for (const ScheduledVector &sv : sched.vectors) {
+        for (std::size_t h = 0; h < sv.hops.size(); ++h) {
+            const Cycle feasible = minFeasible(sv, h);
+            TSM_ASSERT(sv.hops[h].depart >= feasible,
+                       "schedule violates its own feasibility bound");
+            const Cycle wait = sv.hops[h].depart - feasible;
+            out.hopSlack.add(double(wait));
+            ++out.hopsTotal;
+            if (wait > 0) {
+                ++out.contendedHops;
+                out.contentionFree = false;
+            }
+        }
+    }
+
+    // Critical-path walk: start from the makespan-defining arrival and
+    // follow the binding constraint backwards.
+    std::uint32_t vi = 0;
+    for (std::uint32_t v = 0; v < sched.vectors.size(); ++v) {
+        if (sched.vectors[v].arrival() == sched.makespan) {
+            vi = v;
+            break;
+        }
+    }
+    std::uint32_t hi = std::uint32_t(sched.vectors[vi].hops.size()) - 1;
+
+    std::vector<CritHop> path; // built back-to-front
+    for (std::uint64_t guard = 0; guard <= out.hopsTotal; ++guard) {
+        const ScheduledVector &sv = sched.vectors[vi];
+        const ScheduledHop &hop = sv.hops[hi];
+        const Link &link = topo.links()[hop.link];
+        const Cycle feasible = minFeasible(sv, hi);
+        const Cycle wait = hop.depart - feasible;
+
+        CritHop ch;
+        ch.link = hop.link;
+        ch.from = hop.from;
+        ch.flow = sv.flow;
+        ch.seq = sv.seq;
+        ch.depart = hop.depart;
+        ch.arrive = hop.arrive;
+        ch.wait = wait;
+        ch.edge = wait > 0 ? CritEdge::Contention
+                  : hi > 0 ? CritEdge::Pipeline
+                           : CritEdge::Start;
+
+        // Find the predecessor the constraint points at.
+        bool jumped = false;
+        if (wait > 0) {
+            // Prefer the vector whose serialization window this hop
+            // waited behind on the same link direction.
+            const std::uint64_t dir = std::uint64_t(hop.link) * 2 +
+                                      (link.a == hop.from ? 0 : 1);
+            if (const HopRef *blk = latestBefore(byDir[dir], hop.depart);
+                blk && blk->depart + kWindowCycles > feasible &&
+                !(blk->vec == vi && blk->hop == hi)) {
+                vi = blk->vec;
+                hi = blk->hop;
+                jumped = true;
+            } else if (const HopRef *slot =
+                           latestBefore(byChip[hop.from], hop.depart);
+                       !jumped && slot && slot->depart + 1 == hop.depart &&
+                       !(slot->vec == vi && slot->hop == hi)) {
+                // Otherwise the chip's one-send-per-cycle issue slot.
+                vi = slot->vec;
+                hi = slot->hop;
+                jumped = true;
+            }
+        }
+        path.push_back(ch);
+        if (!jumped) {
+            if (hi == 0)
+                break; // reached an injection point
+            --hi;      // forward-pipeline dependence on the prior hop
+        }
+    }
+    std::reverse(path.begin(), path.end());
+
+    // Decompose the makespan by telescoping departures along the path.
+    // Between consecutive path hops of the *same vector* the gap is
+    // flight + forward + wait; between a hop and the blocker it jumped
+    // to, the whole gap is contention wait.
+    out.startCycle = path.front().depart - path.front().wait;
+    out.waitCyclesTotal = path.front().wait;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        const CritHop &prev = path[i - 1];
+        const CritHop &cur = path[i];
+        const Cycle delta = cur.depart - prev.depart;
+        const bool chained =
+            prev.flow == cur.flow && prev.seq == cur.seq;
+        if (chained) {
+            const Cycle flight = prev.arrive - prev.depart;
+            out.flightCyclesTotal += flight;
+            out.forwardCyclesTotal += forwardCycles();
+            out.waitCyclesTotal += delta - flight - forwardCycles();
+        } else {
+            out.waitCyclesTotal += delta;
+        }
+    }
+    out.flightCyclesTotal += path.back().arrive - path.back().depart;
+
+    out.criticalPath = std::move(path);
+    out.criticalPathCycles = out.criticalPath.back().arrive;
+    TSM_ASSERT(out.criticalPathCycles == out.makespan,
+               "critical path must end at the makespan");
+    TSM_ASSERT(out.startCycle + out.flightCyclesTotal +
+                       out.forwardCyclesTotal + out.waitCyclesTotal ==
+                   out.makespan,
+               "makespan decomposition must be exact");
+
+    out.predictedCompletionCycles = out.makespan + kRxMarginCycles;
+    return out;
+}
+
+} // namespace tsm

@@ -87,10 +87,12 @@ HacAligner::childHandler(const ArrivedFlit &af)
         child_.adjustHac(step);
     ++updates_;
     EventQueue &eq = child_.network().eventq();
+    // Payload: observed misalignment and the (rate-limited) correction
+    // actually applied — the drift telemetry the profiler collects.
     if (eq.tracer().wants(TraceCat::Sync))
         eq.tracer().emit({eq.now(), 0, TraceCat::Sync, child_.id(),
                           "hac_adj", std::int64_t(diff),
-                          std::int64_t(updates_)});
+                          std::int64_t(step)});
 }
 
 bool

@@ -28,27 +28,52 @@ MetricsRegistry::findAccumulator(const std::string &name) const
     return it == accums_.end() ? nullptr : &it->second;
 }
 
+Log2Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+const Log2Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void
 MetricsRegistry::clear()
 {
     counters_.clear();
     accums_.clear();
+    histograms_.clear();
 }
 
 Table
 MetricsRegistry::table() const
 {
-    Table t({"metric", "count", "mean", "min", "max", "sum"});
+    Table t({"metric", "count", "mean", "min", "p50", "p95", "p99", "max",
+             "sum"});
     for (const auto &[name, value] : counters_)
-        t.addRow({name, Table::num(value), "", "", "", ""});
+        t.addRow({name, Table::num(value), "", "", "", "", "", "", ""});
     for (const auto &[name, acc] : accums_) {
         if (acc.count() == 0) {
-            t.addRow({name, "0", "", "", "", ""});
+            t.addRow({name, "0", "", "", "", "", "", "", ""});
             continue;
         }
         t.addRow({name, Table::num(acc.count()), Table::num(acc.mean(), 3),
-                  Table::num(acc.min(), 3), Table::num(acc.max(), 3),
-                  Table::num(acc.sum(), 3)});
+                  Table::num(acc.min(), 3), "", "", "",
+                  Table::num(acc.max(), 3), Table::num(acc.sum(), 3)});
+    }
+    for (const auto &[name, h] : histograms_) {
+        if (h.count() == 0) {
+            t.addRow({name, "0", "", "", "", "", "", "", ""});
+            continue;
+        }
+        t.addRow({name, Table::num(h.count()), Table::num(h.mean(), 3),
+                  Table::num(h.min()), Table::num(h.p50()),
+                  Table::num(h.p95()), Table::num(h.p99()),
+                  Table::num(h.max()), Table::num(h.sum())});
     }
     return t;
 }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "prof/report.hh"
+
 namespace tsm {
 
 TraceOptions
@@ -18,12 +20,26 @@ TraceOptions::fromArgs(int &argc, char **argv)
             opts.metrics = true;
         } else if (std::strcmp(arg, "--digest") == 0) {
             opts.digest = true;
+        } else if (std::strncmp(arg, "--report=", 9) == 0) {
+            opts.reportPath = arg + 9;
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
     return opts;
+}
+
+void
+TraceOptions::registerFlags(CliParser &parser)
+{
+    parser.addValue("--trace", &tracePath,
+                    "write a Chrome trace_event timeline to FILE");
+    parser.addFlag("--metrics", &metrics, "print the metrics table at exit");
+    parser.addFlag("--digest", &digest,
+                   "print the golden timeline digest at exit");
+    parser.addValue("--report", &reportPath,
+                    "write a JSON profile report to FILE");
 }
 
 TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
@@ -34,6 +50,8 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
         metricsSink_ = std::make_unique<MetricsSink>();
     if (opts_.digest)
         digestSink_ = std::make_unique<DigestSink>();
+    if (!opts_.reportPath.empty())
+        profile_ = std::make_unique<ProfileCollector>();
 }
 
 TraceSession::~TraceSession()
@@ -44,7 +62,7 @@ TraceSession::~TraceSession()
 bool
 TraceSession::active() const
 {
-    return chrome_ || metricsSink_ || digestSink_;
+    return chrome_ || metricsSink_ || digestSink_ || profile_;
 }
 
 void
@@ -58,6 +76,8 @@ TraceSession::attach(Tracer &tracer)
         tracer.addSink(metricsSink_.get());
     if (digestSink_)
         tracer.addSink(digestSink_.get());
+    if (profile_)
+        tracer.addSink(&profile_->sink());
 }
 
 void
@@ -71,6 +91,8 @@ TraceSession::detach()
         tracer_->removeSink(metricsSink_.get());
     if (digestSink_)
         tracer_->removeSink(digestSink_.get());
+    if (profile_)
+        tracer_->removeSink(&profile_->sink());
     tracer_ = nullptr;
 }
 
@@ -107,6 +129,16 @@ TraceSession::finish()
         std::printf("timeline digest: 0x%016llx (%llu events)\n",
                     (unsigned long long)digestSink_->digest(),
                     (unsigned long long)digestSink_->events());
+    }
+    if (profile_) {
+        profile_->sink().finish();
+        const Json report = profile_->report();
+        std::printf("%s", renderProfileSummary(report).c_str());
+        std::string error;
+        if (writeProfileReport(opts_.reportPath, report, &error))
+            std::printf("profile: wrote %s\n", opts_.reportPath.c_str());
+        else
+            std::fprintf(stderr, "profile: %s\n", error.c_str());
     }
 }
 

@@ -6,6 +6,8 @@
  *   --trace=FILE   write a Chrome trace_event JSON timeline to FILE
  *   --metrics      print the metrics table at exit
  *   --digest       print the 64-bit golden timeline digest at exit
+ *   --report=FILE  write a machine-readable profile report (JSON) and
+ *                  print its human-readable summary at exit
  *
  * A TraceSession owns the sinks the options imply and attaches them to
  * whichever Tracer the harness is currently driving. The tracer is
@@ -19,11 +21,14 @@
 #include <memory>
 #include <string>
 
+#include "common/cli.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/digest.hh"
 #include "trace/metrics.hh"
 
 namespace tsm {
+
+class ProfileCollector;
 
 /** Parsed trace-related command-line options. */
 struct TraceOptions
@@ -37,12 +42,20 @@ struct TraceOptions
     /** Print the golden timeline digest at end of session. */
     bool digest = false;
 
+    /** Profile report output path; empty = no profiling. */
+    std::string reportPath;
+
     /**
      * Scan argv for the options above, removing every recognized
      * argument in place (argc is updated) so downstream parsers
-     * (e.g. google-benchmark) never see them.
+     * (e.g. google-benchmark) never see them. Unrecognized arguments
+     * are left alone; harnesses wanting strict rejection should use
+     * registerFlags() with their own CliParser instead.
      */
     static TraceOptions fromArgs(int &argc, char **argv);
+
+    /** Register the trace flags on a strict CliParser. */
+    void registerFlags(CliParser &parser);
 };
 
 /** The sinks one traced run needs, bundled and CLI-configurable. */
@@ -77,8 +90,16 @@ class TraceSession
     std::uint64_t digest() const;
 
     /**
-     * Detach, close the trace file, and print the requested metrics
-     * table / digest to stdout. Idempotent.
+     * The profile collector, or nullptr when --report is off. Use it
+     * to stamp run identity (bench name, seed) and attach the SSN
+     * schedule before finish().
+     */
+    ProfileCollector *profile() { return profile_.get(); }
+
+    /**
+     * Detach, close the trace file, print the requested metrics
+     * table / digest / profile summary to stdout, and write the
+     * profile report file. Idempotent.
      */
     void finish();
 
@@ -87,6 +108,7 @@ class TraceSession
     std::unique_ptr<ChromeTraceSink> chrome_;
     std::unique_ptr<MetricsSink> metricsSink_;
     std::unique_ptr<DigestSink> digestSink_;
+    std::unique_ptr<ProfileCollector> profile_;
     Tracer *tracer_ = nullptr;
     bool finished_ = false;
 };

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+
+namespace tsm {
+namespace {
+
+/** argv builder (argv must be mutable char* for parse()). */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> args) : strings(std::move(args))
+    {
+        for (auto &s : strings)
+            ptrs.push_back(s.data());
+        argc = int(ptrs.size());
+    }
+
+    std::vector<std::string> strings;
+    std::vector<char *> ptrs;
+    int argc;
+
+    char **argv() { return ptrs.data(); }
+};
+
+TEST(Cli, ParsesAndStripsRegisteredFlags)
+{
+    bool verbose = false;
+    std::string out;
+    unsigned n = 0;
+    CliParser cli("prog");
+    cli.addFlag("--verbose", &verbose);
+    cli.addValue("--out", &out);
+    cli.addValue("--n", &n);
+
+    Argv a({"prog", "--verbose", "--out=x.json", "--n=17"});
+    EXPECT_TRUE(cli.parse(a.argc, a.argv()));
+    EXPECT_TRUE(verbose);
+    EXPECT_EQ(out, "x.json");
+    EXPECT_EQ(n, 17u);
+    EXPECT_EQ(a.argc, 1); // everything consumed
+}
+
+TEST(Cli, RejectsUnknownFlag)
+{
+    CliParser cli("prog");
+    Argv a({"prog", "--bogus"});
+    EXPECT_FALSE(cli.parse(a.argc, a.argv()));
+}
+
+TEST(Cli, RejectsPositionalByDefaultAllowsWhenAsked)
+{
+    {
+        CliParser cli("prog");
+        Argv a({"prog", "file.json"});
+        EXPECT_FALSE(cli.parse(a.argc, a.argv()));
+    }
+    {
+        CliParser cli("prog");
+        cli.allowPositional();
+        Argv a({"prog", "file.json", "other.json"});
+        EXPECT_TRUE(cli.parse(a.argc, a.argv()));
+        ASSERT_EQ(a.argc, 3); // positionals stay in argv
+        EXPECT_STREQ(a.argv()[1], "file.json");
+        EXPECT_STREQ(a.argv()[2], "other.json");
+    }
+}
+
+TEST(Cli, ValueFlagWithoutValueIsAnError)
+{
+    std::string out;
+    CliParser cli("prog");
+    cli.addValue("--out", &out);
+    Argv a({"prog", "--out"});
+    EXPECT_FALSE(cli.parse(a.argc, a.argv()));
+}
+
+TEST(Cli, MalformedUnsignedIsAnError)
+{
+    unsigned n = 0;
+    CliParser cli("prog");
+    cli.addValue("--n", &n);
+    Argv a({"prog", "--n=seven"});
+    EXPECT_FALSE(cli.parse(a.argc, a.argv()));
+}
+
+TEST(Cli, PrefixPassthroughKeepsArgsInArgv)
+{
+    bool flag = false;
+    CliParser cli("prog");
+    cli.addFlag("--flag", &flag);
+    cli.allowPrefix("--benchmark");
+    Argv a({"prog", "--benchmark_filter=foo", "--flag"});
+    EXPECT_TRUE(cli.parse(a.argc, a.argv()));
+    EXPECT_TRUE(flag);
+    ASSERT_EQ(a.argc, 2);
+    EXPECT_STREQ(a.argv()[1], "--benchmark_filter=foo");
+}
+
+TEST(Cli, HelpReturnsFalse)
+{
+    CliParser cli("prog");
+    Argv a({"prog", "--help"});
+    EXPECT_FALSE(cli.parse(a.argc, a.argv()));
+}
+
+TEST(Cli, UsageListsFlags)
+{
+    bool b = false;
+    CliParser cli("prog");
+    cli.addFlag("--thing", &b, "does the thing");
+    const std::string u = cli.usage();
+    EXPECT_NE(u.find("--thing"), std::string::npos);
+    EXPECT_NE(u.find("does the thing"), std::string::npos);
+}
+
+} // namespace
+} // namespace tsm

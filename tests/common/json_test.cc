@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Json, ObjectKeepsInsertionOrder)
+{
+    Json o = Json::object();
+    o.set("zulu", 1);
+    o.set("alpha", 2);
+    o.set("mike", 3);
+    EXPECT_EQ(o.dump(), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+    // Replacing an existing key keeps its original position.
+    o.set("alpha", 9);
+    EXPECT_EQ(o.dump(), "{\"zulu\":1,\"alpha\":9,\"mike\":3}");
+}
+
+TEST(Json, IntegersPrintExactly)
+{
+    Json o = Json::object();
+    o.set("i", std::int64_t(1234567890123456789LL));
+    o.set("u", std::uint64_t(42));
+    o.set("neg", -7);
+    EXPECT_EQ(o.dump(), "{\"i\":1234567890123456789,\"u\":42,\"neg\":-7}");
+    EXPECT_EQ(o["i"].kind(), Json::Kind::Int);
+}
+
+TEST(Json, DoublesTrimTrailingZeros)
+{
+    Json a = Json::array();
+    a.push(0.5);
+    a.push(1.25);
+    const std::string s = a.dump();
+    EXPECT_NE(s.find("0.5"), std::string::npos);
+    EXPECT_NE(s.find("1.25"), std::string::npos);
+    EXPECT_EQ(s.find("0.500000"), std::string::npos);
+}
+
+TEST(Json, MemberAccessNullSentinel)
+{
+    Json o = Json::object();
+    o.set("x", 1);
+    EXPECT_TRUE(o.has("x"));
+    EXPECT_FALSE(o.has("y"));
+    EXPECT_TRUE(o["y"].isNull());
+    EXPECT_EQ(o["x"].integer(), 1);
+}
+
+TEST(Json, StringEscaping)
+{
+    const Json s(std::string("a\"b\\c\n\t"));
+    EXPECT_EQ(s.dump(), "\"a\\\"b\\\\c\\n\\t\"");
+}
+
+TEST(Json, ParseRoundTrip)
+{
+    Json o = Json::object();
+    o.set("name", "bench");
+    o.set("n", 17);
+    o.set("ratio", 0.75);
+    o.set("ok", true);
+    o.set("nothing", Json());
+    Json arr = Json::array();
+    arr.push(1);
+    arr.push(2);
+    o.set("list", std::move(arr));
+
+    const std::string text = o.dump(2);
+    std::string error;
+    const Json back = Json::parse(text, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.dump(2), text);
+    EXPECT_EQ(back["n"].integer(), 17);
+    EXPECT_DOUBLE_EQ(back["ratio"].number(), 0.75);
+    EXPECT_TRUE(back["ok"].boolean());
+    EXPECT_TRUE(back["nothing"].isNull());
+    EXPECT_EQ(back["list"].size(), 2u);
+    EXPECT_EQ(back["list"].at(1).integer(), 2);
+}
+
+TEST(Json, ParseErrorsReport)
+{
+    std::string error;
+    EXPECT_TRUE(Json::parse("{\"a\": }", &error).isNull());
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    EXPECT_TRUE(Json::parse("[1, 2", &error).isNull());
+    EXPECT_FALSE(error.empty());
+    error.clear();
+    // Trailing garbage after a valid document is an error.
+    EXPECT_TRUE(Json::parse("{} x", &error).isNull());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, DumpIsDeterministic)
+{
+    auto build = [] {
+        Json o = Json::object();
+        o.set("b", 2);
+        o.set("a", Json::array());
+        o.set("c", 1.5);
+        return o;
+    };
+    EXPECT_EQ(build().dump(2), build().dump(2));
+}
+
+} // namespace
+} // namespace tsm

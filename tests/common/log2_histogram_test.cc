@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Log2Histogram::bucketOf(255), 8u);
+    EXPECT_EQ(Log2Histogram::bucketOf(256), 9u);
+    EXPECT_EQ(Log2Histogram::bucketOf(~std::uint64_t(0)), 64u);
+
+    EXPECT_EQ(Log2Histogram::bucketLo(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketHi(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketLo(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketHi(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketLo(4), 8u);
+    EXPECT_EQ(Log2Histogram::bucketHi(4), 15u);
+    // Each bucket's bounds round-trip through bucketOf.
+    for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b) {
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketLo(b)), b);
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketHi(b)), b);
+    }
+}
+
+TEST(Log2Histogram, BasicStats)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_EQ(h.bucketCount(Log2Histogram::bucketOf(10)), 1u);
+}
+
+TEST(Log2Histogram, PercentileClampsToObservedMax)
+{
+    Log2Histogram h;
+    h.add(100); // bucket [64,127]
+    // p100-style queries never exceed the observed max even though the
+    // bucket upper bound is 127.
+    EXPECT_EQ(h.percentile(1.0), 100u);
+    EXPECT_EQ(h.p99(), 100u);
+
+    Log2Histogram skew;
+    for (int i = 0; i < 99; ++i)
+        skew.add(1);
+    skew.add(1000);
+    EXPECT_EQ(skew.p50(), 1u);
+    // 95th sample of 100 is still 1; the tail only shows past p99.
+    EXPECT_EQ(skew.p95(), 1u);
+    EXPECT_EQ(skew.percentile(1.0), 1000u);
+}
+
+TEST(Log2Histogram, MergeAndReset)
+{
+    Log2Histogram a, b;
+    a.add(5);
+    a.add(6);
+    b.add(500);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 500u);
+    EXPECT_EQ(a.sum(), 511u);
+
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.sum(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    a.add(2);
+    EXPECT_EQ(a.min(), 2u);
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * SSN schedule analyzer tests: critical-path length equals the
+ * schedule makespan, the makespan decomposition is exact, and — the
+ * paper's determinism claim made executable — on a contention-free
+ * schedule the static prediction matches the simulated completion
+ * cycle exactly (gap == 0).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "net/network.hh"
+#include "prof/report.hh"
+#include "prof/ssn_analysis.hh"
+#include "ssn/scheduler.hh"
+
+namespace tsm {
+namespace {
+
+TensorTransfer
+makeTransfer(FlowId flow, TspId src, TspId dst, std::uint32_t vectors,
+             Cycle earliest = 0)
+{
+    TensorTransfer t;
+    t.flow = flow;
+    t.src = src;
+    t.dst = dst;
+    t.vectors = vectors;
+    t.earliest = earliest;
+    return t;
+}
+
+void
+expectDecompositionExact(const SsnAnalysis &a)
+{
+    EXPECT_EQ(a.startCycle + a.flightCyclesTotal + a.forwardCyclesTotal +
+                  a.waitCyclesTotal,
+              a.makespan);
+}
+
+TEST(SsnAnalysis, SingleVectorSingleHop)
+{
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    const auto transfers = std::vector{makeTransfer(1, 0, 1, 1)};
+    const auto sched = scheduler.schedule(transfers);
+    const SsnAnalysis a = analyzeSchedule(sched, topo, transfers);
+
+    EXPECT_EQ(a.makespan, sched.makespan);
+    EXPECT_EQ(a.criticalPathCycles, a.makespan);
+    EXPECT_EQ(a.hopsTotal, 1u);
+    EXPECT_EQ(a.contendedHops, 0u);
+    EXPECT_TRUE(a.contentionFree);
+    ASSERT_EQ(a.criticalPath.size(), 1u);
+    EXPECT_EQ(a.criticalPath[0].edge, CritEdge::Start);
+    EXPECT_EQ(a.criticalPath[0].wait, 0u);
+    EXPECT_EQ(a.criticalPath[0].arrive, a.makespan);
+    EXPECT_EQ(a.startCycle, 0u);
+    EXPECT_EQ(a.flightCyclesTotal, flightCycles(LinkClass::IntraNode));
+    EXPECT_EQ(a.forwardCyclesTotal, 0u);
+    EXPECT_EQ(a.waitCyclesTotal, 0u);
+    expectDecompositionExact(a);
+    EXPECT_EQ(a.predictedCompletionCycles, a.makespan + kRxMarginCycles);
+    EXPECT_EQ(a.hopSlack.count(), a.hopsTotal);
+}
+
+TEST(SsnAnalysis, EarliestInjectionSetsStartCycle)
+{
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    const auto transfers = std::vector{makeTransfer(1, 2, 5, 1, 100)};
+    const auto sched = scheduler.schedule(transfers);
+    const SsnAnalysis a = analyzeSchedule(sched, topo, transfers);
+
+    EXPECT_TRUE(a.contentionFree);
+    EXPECT_EQ(a.startCycle, 100u);
+    EXPECT_EQ(a.makespan, 100 + flightCycles(LinkClass::IntraNode));
+    expectDecompositionExact(a);
+}
+
+TEST(SsnAnalysis, ContendedFanInStaysExact)
+{
+    // Four flows, 32 vectors each, all into TSP 0 — heavy contention
+    // on the destination's links and issue slots.
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    std::vector<TensorTransfer> transfers;
+    for (unsigned f = 0; f < 4; ++f)
+        transfers.push_back(makeTransfer(f + 1, TspId(f + 1), 0, 32));
+    const auto sched = scheduler.schedule(transfers);
+    const SsnAnalysis a = analyzeSchedule(sched, topo, transfers);
+
+    EXPECT_EQ(a.criticalPathCycles, a.makespan);
+    EXPECT_FALSE(a.contentionFree);
+    EXPECT_GT(a.contendedHops, 0u);
+    EXPECT_GE(a.hopsTotal, 128u);
+    EXPECT_EQ(a.hopSlack.count(), a.hopsTotal);
+    ASSERT_FALSE(a.criticalPath.empty());
+    EXPECT_EQ(a.criticalPath.back().arrive, a.makespan);
+    expectDecompositionExact(a);
+
+    // The path is chronological, and every waiting hop is explained
+    // by a contention edge.
+    for (std::size_t i = 0; i < a.criticalPath.size(); ++i) {
+        const CritHop &h = a.criticalPath[i];
+        if (i > 0) {
+            EXPECT_GT(h.depart, a.criticalPath[i - 1].depart);
+        }
+        if (h.wait > 0) {
+            EXPECT_EQ(h.edge, CritEdge::Contention);
+        }
+    }
+}
+
+/**
+ * The satellite the issue names: on a contention-free schedule run on
+ * drift-free chips, the statically predicted completion cycle equals
+ * the simulated one — gap == 0, no measurement required.
+ */
+TEST(SsnAnalysis, PredictionMatchesSimulationOnContentionFreeRun)
+{
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    const std::vector<TensorTransfer> transfers = {
+        makeTransfer(1, 0, 1, 1), makeTransfer(2, 2, 3, 1)};
+    const auto sched = scheduler.schedule(transfers);
+
+    ProfileCollector prof;
+    prof.setBench("ssn_analysis_test");
+    prof.setSeed(1);
+    prof.setSchedule(sched, topo, transfers);
+    ASSERT_TRUE(prof.analysis().has_value());
+    EXPECT_TRUE(prof.analysis()->contentionFree);
+
+    EventQueue eq;
+    eq.tracer().addSink(&prof.sink());
+    Network net(topo, eq, Rng(1));
+    std::vector<std::unique_ptr<TspChip>> chips;
+    for (TspId t = 0; t < topo.numTsps(); ++t)
+        chips.push_back(std::make_unique<TspChip>(t, net, DriftClock()));
+    auto programs = buildPrograms(sched, topo);
+    for (TspId t = 0; t < topo.numTsps(); ++t) {
+        chips[t]->setStream(0, makeVec(Vec(1.0f)));
+        programs.byChip[t].emitHalt();
+        chips[t]->load(std::move(programs.byChip[t]));
+        chips[t]->start(0);
+    }
+    eq.run();
+    eq.tracer().removeSink(&prof.sink());
+    prof.sink().finish();
+
+    ASSERT_GT(prof.sink().recvEvents(), 0u);
+    const Cycle simulated = Cycle(std::llround(
+        double(prof.sink().lastRecvTick()) / kCorePeriodPs));
+    EXPECT_EQ(simulated, prof.analysis()->predictedCompletionCycles);
+
+    const Json report = prof.report();
+    EXPECT_TRUE(report["ssn"]["simulated"].boolean());
+    EXPECT_EQ(report["ssn"]["gap_cycles"].integer(), 0);
+    EXPECT_TRUE(report["ssn"]["contention_free"].boolean());
+}
+
+} // namespace
+} // namespace tsm

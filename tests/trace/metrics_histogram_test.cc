@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MetricsRegistry histogram support: named log2 histograms alongside
+ * counters/accumulators, their percentile columns in the rendered
+ * table, and clear() covering them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/metrics.hh"
+
+namespace tsm {
+namespace {
+
+TEST(MetricsHistogram, NamedCreationAndLookup)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.findHistogram("q"), nullptr);
+    EXPECT_EQ(reg.numHistograms(), 0u);
+
+    reg.histogram("q").add(100);
+    reg.histogram("q").add(300);
+    ASSERT_NE(reg.findHistogram("q"), nullptr);
+    EXPECT_EQ(reg.findHistogram("q")->count(), 2u);
+    EXPECT_EQ(reg.numHistograms(), 1u);
+    EXPECT_FALSE(reg.empty());
+
+    reg.histogram("r");
+    EXPECT_EQ(reg.numHistograms(), 2u);
+}
+
+TEST(MetricsHistogram, ReportShowsPercentiles)
+{
+    MetricsRegistry reg;
+    reg.counter("net.tx") = 3;
+    for (std::uint64_t v : {10u, 20u, 40u, 80u, 5000u})
+        reg.histogram("net.link0.queue_delay_ps").add(v);
+
+    const std::string rep = reg.report();
+    EXPECT_NE(rep.find("net.link0.queue_delay_ps"), std::string::npos);
+    EXPECT_NE(rep.find("p50"), std::string::npos);
+    EXPECT_NE(rep.find("p99"), std::string::npos);
+    EXPECT_NE(rep.find("net.tx"), std::string::npos);
+}
+
+TEST(MetricsHistogram, ClearCoversHistograms)
+{
+    MetricsRegistry reg;
+    reg.histogram("h").add(1);
+    reg.counter("c") = 1;
+    reg.clear();
+    EXPECT_TRUE(reg.empty());
+    EXPECT_EQ(reg.numHistograms(), 0u);
+    EXPECT_EQ(reg.findHistogram("h"), nullptr);
+}
+
+} // namespace
+} // namespace tsm

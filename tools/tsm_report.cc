@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Offline renderer for profile reports: reads BENCH_*.json files
+ * written by the bench binaries' --report flag and prints the same
+ * human-readable summary the binaries print live — per-chip
+ * functional-unit utilization, top-k bottleneck links with queueing
+ * percentiles, HAC telemetry, and the SSN critical-path breakdown.
+ *
+ *   tsm_report [--top=N] REPORT.json...
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "prof/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    unsigned top = 5;
+    tsm::CliParser cli("tsm_report");
+    cli.addValue("--top", &top, "links shown in the bottleneck table");
+    cli.allowPositional();
+    if (!cli.parse(argc, argv))
+        return 2;
+    if (argc < 2) {
+        std::fprintf(stderr, "tsm_report: no report files given\n%s",
+                     cli.usage().c_str());
+        return 2;
+    }
+
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *path = argv[i];
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "tsm_report: cannot open %s\n", path);
+            ++failures;
+            continue;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        std::string error;
+        const tsm::Json report = tsm::Json::parse(text.str(), &error);
+        if (report.isNull()) {
+            std::fprintf(stderr, "tsm_report: %s: %s\n", path,
+                         error.c_str());
+            ++failures;
+            continue;
+        }
+        if (!report.has("schema") ||
+            report["schema"].str() != tsm::kProfileSchema) {
+            std::fprintf(stderr,
+                         "tsm_report: %s: not a %s document\n", path,
+                         tsm::kProfileSchema);
+            ++failures;
+            continue;
+        }
+        if (i > 1)
+            std::printf("\n");
+        std::printf("%s", tsm::renderProfileSummary(report, top).c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
