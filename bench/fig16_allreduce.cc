@@ -37,8 +37,13 @@ int
 main(int argc, char **argv)
 {
     TraceOptions opts;
+    std::uint64_t seed = 1;
+    double mbe = 0.0;
     CliParser cli("fig16_allreduce");
     opts.registerFlags(cli);
+    cli.addValue("--seed", &seed, "network RNG seed for the traced run");
+    cli.addValue("--mbe", &mbe,
+                 "injected FEC multi-bit error rate per vector");
     if (!cli.parse(argc, argv))
         return 2;
     TraceSession session(std::move(opts));
@@ -55,21 +60,25 @@ main(int argc, char **argv)
     // attribute against the static analysis. 32 KiB is the largest
     // all-to-all the stream-register allocator can lower single-hop.
     if (session.active()) {
-        constexpr std::uint64_t kSeed = 1;
         constexpr Bytes kTracedBytes = 32 * kKiB;
         SsnScheduler scheduler(node);
         const auto transfers = tsp.reduceScatterTransfers(kTracedBytes, 1, 0);
         const auto sched = scheduler.schedule(transfers);
         if (ProfileCollector *prof = session.profile()) {
             prof->setBench("fig16_allreduce");
-            prof->setSeed(kSeed);
+            prof->setSeed(seed);
             prof->setSchedule(sched, node, transfers);
             prof->addExtra("traced_tensor_bytes", double(kTracedBytes));
         }
         EventQueue eq;
         session.attach(eq.tracer());
         traceSchedule(eq.tracer(), sched);
-        Network net(node, eq, Rng(kSeed));
+        Network net(node, eq, Rng(seed));
+        if (mbe > 0.0) {
+            ErrorModel errors;
+            errors.mbePerVector = mbe;
+            net.setErrorModel(errors);
+        }
         std::vector<std::unique_ptr<TspChip>> chips;
         for (TspId t = 0; t < node.numTsps(); ++t)
             chips.push_back(

@@ -107,16 +107,18 @@ BM_ChipInstructionRate(benchmark::State &state)
 BENCHMARK(BM_ChipInstructionRate);
 
 /**
- * With --trace/--metrics/--digest/--report the harness runs one
- * instrumented scenario instead of the benchmarks: a 4-flow contended
- * transfer scheduled by SSN and executed on chips, producing events
- * from the chip, network, SSN and (with --trace including it) sim
- * categories.
+ * With --trace/--metrics/--digest/--report/--journal the harness runs
+ * one instrumented scenario instead of the benchmarks: a 4-flow
+ * contended transfer scheduled by SSN and executed on chips, producing
+ * events from the chip, network, SSN and (with --trace including it)
+ * sim categories. `--seed` varies the network RNG; `--mbe` injects FEC
+ * multi-bit errors at the given per-vector rate, which corrupts
+ * payloads without perturbing timing — the canonical way to make two
+ * same-seed journals diverge for the tsm_diverge walkthrough.
  */
 int
-runTracedScenario(const TraceOptions &opts)
+runTracedScenario(const TraceOptions &opts, std::uint64_t seed, double mbe)
 {
-    constexpr std::uint64_t kSeed = 1;
     TraceSession session(opts);
     const Topology topo = Topology::makeNode();
 
@@ -133,7 +135,7 @@ runTracedScenario(const TraceOptions &opts)
     const auto schedule = scheduler.schedule(transfers);
     if (ProfileCollector *prof = session.profile()) {
         prof->setBench("micro_harness");
-        prof->setSeed(kSeed);
+        prof->setSeed(seed);
         prof->setSchedule(schedule, topo, transfers);
     }
 
@@ -141,7 +143,12 @@ runTracedScenario(const TraceOptions &opts)
     session.attach(eq.tracer());
     traceSchedule(eq.tracer(), schedule);
 
-    Network net(topo, eq, Rng(kSeed));
+    Network net(topo, eq, Rng(seed));
+    if (mbe > 0.0) {
+        ErrorModel errors;
+        errors.mbePerVector = mbe;
+        net.setErrorModel(errors);
+    }
     std::vector<std::unique_ptr<TspChip>> chips;
     for (TspId t = 0; t < topo.numTsps(); ++t)
         chips.push_back(std::make_unique<TspChip>(t, net, DriftClock()));
@@ -167,8 +174,13 @@ int
 main(int argc, char **argv)
 {
     tsm::TraceOptions opts;
+    std::uint64_t seed = 1;
+    double mbe = 0.0;
     tsm::CliParser cli("micro_harness");
     opts.registerFlags(cli);
+    cli.addValue("--seed", &seed, "network RNG seed for the scenario");
+    cli.addValue("--mbe", &mbe,
+                 "injected FEC multi-bit error rate per vector");
     // Everything else belongs to google-benchmark, which rejects what
     // it does not recognize itself.
     cli.allowPrefix("--benchmark");
@@ -176,7 +188,7 @@ main(int argc, char **argv)
     if (!cli.parse(argc, argv))
         return 2;
     if (opts.tracePath.empty() && !opts.metrics && !opts.digest &&
-        opts.reportPath.empty()) {
+        opts.reportPath.empty() && opts.journalPath.empty()) {
         benchmark::Initialize(&argc, argv);
         if (benchmark::ReportUnrecognizedArguments(argc, argv))
             return 1;
@@ -184,5 +196,5 @@ main(int argc, char **argv)
         benchmark::Shutdown();
         return 0;
     }
-    return tsm::runTracedScenario(opts);
+    return tsm::runTracedScenario(opts, seed, mbe);
 }

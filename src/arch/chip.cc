@@ -199,10 +199,19 @@ TspChip::consumeRx(const Instr &i)
     fifo.pop_front();
     ++stats_.flitsReceived;
     Tracer &tracer = eventq().tracer();
-    if (af.flit.flow != 0 && tracer.wants(TraceCat::Ssn))
+    if (af.flit.flow != 0 && tracer.wants(TraceCat::Ssn)) {
         tracer.emit({now(), 0, TraceCat::Ssn, id_,
                      af.flit.corrupt ? "corrupt" : "recv",
-                     std::int64_t(af.flit.flow), std::int64_t(af.flit.seq)});
+                     std::int64_t(af.flit.flow), std::int64_t(af.flit.seq),
+                     af.flit.span});
+        // The consuming receive at the final destination closes the
+        // vector's causal span: its journey across every hop is over.
+        if (i.lastHop && isDataFlow(af.flit.flow))
+            tracer.emit({now(), 0, TraceCat::Ssn, id_, "span_close",
+                         std::int64_t(af.flit.flow),
+                         std::int64_t(af.flit.seq),
+                         spanParent(af.flit.span)});
+    }
     if (i.flow != 0) {
         TSM_ASSERT(af.flit.flow == i.flow && af.flit.seq == i.seq,
                    "tsp{} port{}: receive tag mismatch (expected flow {} "
@@ -336,12 +345,23 @@ TspChip::execute(const Instr &i)
         flit.flow = i.flow;
         flit.seq = i.seq;
         flit.payload = streams_[i.srcA];
+        if (i.flow != 0)
+            flit.span = spanChild(transferSpan(i.flow, i.seq), i.hop);
+        const SpanId span = flit.span;
+        // The source chip's first Send opens the vector's causal span;
+        // forwarded hops re-enter it as leg children.
+        if (i.hop == 0 && isDataFlow(i.flow) &&
+            eventq().tracer().wants(TraceCat::Ssn))
+            eventq().tracer().emit({now(), 0, TraceCat::Ssn, id_,
+                                    "span_open", std::int64_t(i.flow),
+                                    std::int64_t(i.seq),
+                                    spanParent(span)});
         net_->transmit(id_, portLink(i.port), std::move(flit), now());
         ++stats_.flitsSent;
         if (i.flow != 0 && eventq().tracer().wants(TraceCat::Ssn))
             eventq().tracer().emit({now(), 0, TraceCat::Ssn, id_, "send",
                                     std::int64_t(i.flow),
-                                    std::int64_t(i.seq)});
+                                    std::int64_t(i.seq), span});
         // Hand-written (unscheduled) programs self-pace at the port
         // serialization rate; SSN schedules control pacing themselves.
         if (i.issueAt == kCycleUnscheduled)
@@ -384,6 +404,8 @@ TspChip::execute(const Instr &i)
         Flit flit;
         flit.flow = kFlowSyncToken;
         flit.meta = i.imm;
+        flit.span =
+            transferSpan(kFlowSyncToken, std::uint32_t(i.imm) & 0xffffff);
         net_->controlTransmit(id_, portLink(i.port), std::move(flit));
         break;
       }

@@ -128,6 +128,21 @@ struct Instr
     std::uint32_t flow = 0; ///< flow tag for Send/Recv
     std::uint32_t seq = 0;  ///< sequence tag for Send/Recv
 
+    /**
+     * Position of this Send/Recv in its vector's scheduled route
+     * (0 = the source chip). Set by buildPrograms; hand-written
+     * programs default to 0, i.e. direct source-to-destination.
+     */
+    std::uint8_t hop = 0;
+
+    /**
+     * True when this Recv consumes the vector at its final
+     * destination (closing its causal span) rather than parking it
+     * for an onward forwarded Send. Defaults to true so hand-written
+     * single-hop programs behave as source + destination.
+     */
+    bool lastHop = true;
+
     std::int64_t imm = 0; ///< cycles / rotation amount / weight row
     float fimm = 0.0f;    ///< scalar operand
 

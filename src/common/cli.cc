@@ -37,6 +37,26 @@ CliParser::addValue(std::string name, unsigned *out, std::string help)
 }
 
 void
+CliParser::addValue(std::string name, std::uint64_t *out, std::string help)
+{
+    Flag f;
+    f.name = std::move(name);
+    f.u64Out = out;
+    f.help = std::move(help);
+    flags_.push_back(std::move(f));
+}
+
+void
+CliParser::addValue(std::string name, double *out, std::string help)
+{
+    Flag f;
+    f.name = std::move(name);
+    f.doubleOut = out;
+    f.help = std::move(help);
+    flags_.push_back(std::move(f));
+}
+
+void
 CliParser::allowPrefix(std::string prefix)
 {
     prefixes_.push_back(std::move(prefix));
@@ -50,7 +70,9 @@ CliParser::usage() const
     for (const auto &f : flags_) {
         out += "  " + f.name;
         if (f.takesValue())
-            out += f.uintOut ? "=N" : "=VALUE";
+            out += (f.uintOut || f.u64Out) ? "=N"
+                   : f.doubleOut           ? "=X"
+                                           : "=VALUE";
         if (!f.help.empty())
             out += "   " + f.help;
         out += '\n';
@@ -119,6 +141,32 @@ CliParser::parse(int &argc, char **argv)
                     ok = false;
                 } else {
                     *match->uintOut = unsigned(v);
+                }
+            } else if (match->u64Out) {
+                char *end = nullptr;
+                const unsigned long long v =
+                    std::strtoull(value.c_str(), &end, 10);
+                if (end == value.c_str() || *end != '\0') {
+                    std::fprintf(stderr,
+                                 "%s: flag %s expects an unsigned integer, "
+                                 "got \"%s\"\n",
+                                 prog_.c_str(), match->name.c_str(),
+                                 value.c_str());
+                    ok = false;
+                } else {
+                    *match->u64Out = std::uint64_t(v);
+                }
+            } else if (match->doubleOut) {
+                char *end = nullptr;
+                const double v = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || *end != '\0') {
+                    std::fprintf(stderr,
+                                 "%s: flag %s expects a number, got \"%s\"\n",
+                                 prog_.c_str(), match->name.c_str(),
+                                 value.c_str());
+                    ok = false;
+                } else {
+                    *match->doubleOut = v;
                 }
             }
             continue;

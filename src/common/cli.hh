@@ -15,6 +15,7 @@
 #ifndef TSM_COMMON_CLI_HH
 #define TSM_COMMON_CLI_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,13 @@ class CliParser
 
     /** Register an unsigned value flag: `--name=N`. */
     void addValue(std::string name, unsigned *out, std::string help = "");
+
+    /** Register a 64-bit unsigned value flag: `--name=N` (seeds). */
+    void addValue(std::string name, std::uint64_t *out,
+                  std::string help = "");
+
+    /** Register a floating-point value flag: `--name=X` (rates). */
+    void addValue(std::string name, double *out, std::string help = "");
 
     /**
      * Let arguments starting with `prefix` pass through unparsed (they
@@ -69,6 +77,8 @@ class CliParser
         bool *boolOut = nullptr;
         std::string *strOut = nullptr;
         unsigned *uintOut = nullptr;
+        std::uint64_t *u64Out = nullptr;
+        double *doubleOut = nullptr;
         std::string help;
 
         bool takesValue() const { return boolOut == nullptr; }

@@ -16,6 +16,7 @@
 
 #include "arch/vec.hh"
 #include "common/units.hh"
+#include "trace/span.hh"
 
 namespace tsm {
 
@@ -27,6 +28,13 @@ inline constexpr FlowId kFlowInvalid = ~FlowId(0);
 /** Reserved flow ids used by the synchronization machinery. */
 inline constexpr FlowId kFlowHacExchange = kFlowInvalid - 1;
 inline constexpr FlowId kFlowSyncToken = kFlowInvalid - 2;
+
+/** True for compiler-assigned tensor flows (not untagged or reserved). */
+constexpr bool
+isDataFlow(FlowId f)
+{
+    return f != 0 && f < kFlowSyncToken;
+}
 
 /** One 320-byte vector in flight. */
 struct Flit
@@ -52,6 +60,15 @@ struct Flit
      * value being exchanged) without materializing a payload vector.
      */
     std::int64_t meta = 0;
+
+    /**
+     * Causal span of the transfer leg this flit is a hop of
+     * (trace/span.hh). Like flow/seq this is simulator metadata
+     * mirroring compile-time knowledge, not wire state; it rides the
+     * flit so every network-layer trace event along the path can name
+     * the transfer it serves.
+     */
+    SpanId span = kSpanNone;
 };
 
 } // namespace tsm

@@ -72,7 +72,7 @@ Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
         if (eventq_->tracer().wants(TraceCat::Net))
             eventq_->tracer().emit({depart, 0, TraceCat::Net, l, "mbe",
                                     std::int64_t(flit.flow),
-                                    std::int64_t(flit.seq)});
+                                    std::int64_t(flit.seq), flit.span});
     }
 
     Tick prop = linkPropagationPs(link.cls);
@@ -90,7 +90,7 @@ Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
     if (eventq_->tracer().wants(TraceCat::Net))
         eventq_->tracer().emit({depart, arrival - depart, TraceCat::Net, l,
                                 "tx", std::int64_t(flit.flow),
-                                std::int64_t(flit.seq)});
+                                std::int64_t(flit.seq), flit.span});
     deliver(link, src, l, std::move(flit), arrival);
     return arrival;
 }
@@ -115,7 +115,7 @@ Network::controlTransmit(TspId src, LinkId l, Flit flit)
         eventq_->tracer().emit({eventq_->now(), arrival - eventq_->now(),
                                 TraceCat::Net, l, "ctl",
                                 std::int64_t(flit.flow),
-                                std::int64_t(flit.meta)});
+                                std::int64_t(flit.meta), flit.span});
     deliver(link, src, l, std::move(flit), arrival);
     return arrival;
 }
@@ -126,18 +126,22 @@ Network::deliver(const Link &link, TspId src, LinkId l, Flit flit,
 {
     const TspId dst = link.peer(src);
     const unsigned dst_port = link.portAt(dst);
-    eventq_->schedule(arrival, [this, dst, dst_port, l,
-                                flit = std::move(flit), arrival] {
-        ArrivedFlit af{flit, arrival, l};
-        if (eventq_->tracer().wants(TraceCat::Net))
-            eventq_->tracer().emit({arrival, 0, TraceCat::Net, l, "rx",
-                                    std::int64_t(af.flit.flow),
-                                    std::int64_t(af.flit.seq)});
-        if (sinks_[dst])
-            sinks_[dst]->flitArrived(dst_port, af);
-        else
-            rx_[dst][dst_port].fifo.push_back(af);
-    });
+    const SpanId span = flit.span;
+    eventq_->schedule(
+        arrival,
+        [this, dst, dst_port, l, flit = std::move(flit), arrival] {
+            ArrivedFlit af{flit, arrival, l};
+            if (eventq_->tracer().wants(TraceCat::Net))
+                eventq_->tracer().emit({arrival, 0, TraceCat::Net, l, "rx",
+                                        std::int64_t(af.flit.flow),
+                                        std::int64_t(af.flit.seq),
+                                        af.flit.span});
+            if (sinks_[dst])
+                sinks_[dst]->flitArrived(dst_port, af);
+            else
+                rx_[dst][dst_port].fifo.push_back(af);
+        },
+        span);
 }
 
 Tick

@@ -121,7 +121,30 @@ ProfilerSink::netEvent(const TraceEvent &ev)
         LinkAccount &acct = links_[LinkId(ev.actor)];
         ++acct.flits;
         acct.busyPs += Tick(std::llround(kVectorSerializationPs));
+        // One leg of a causal transfer: its tx duration is
+        // serialization plus flight, and any gap since the previous
+        // leg's arrival was layover on the forwarding chip.
+        if (ev.span != kSpanNone) {
+            auto it = transfers_.find(spanParent(ev.span));
+            if (it != transfers_.end()) {
+                TransferRecord &tr = it->second;
+                const Tick ser =
+                    std::min(Tick(kVectorSerializationPs), ev.dur);
+                tr.serializePs += ser;
+                tr.flightPs += ev.dur - ser;
+                if (tr.haveArrival && ev.tick >= tr.lastArrival)
+                    tr.forwardPs += ev.tick - tr.lastArrival;
+                ++tr.legs;
+            }
+        }
     } else if (name == "rx") {
+        if (ev.span != kSpanNone) {
+            auto it = transfers_.find(spanParent(ev.span));
+            if (it != transfers_.end()) {
+                it->second.lastArrival = ev.tick;
+                it->second.haveArrival = true;
+            }
+        }
         // Data flits queue here until their consuming Recv (the "mbe"
         // variant still delivers — FEC detects but does not retry).
         const FlowId flow = FlowId(ev.a);
@@ -132,6 +155,16 @@ ProfilerSink::netEvent(const TraceEvent &ev)
         }
     } else if (name == "mbe") {
         ++links_[LinkId(ev.actor)].mbes;
+        // Remember which link corrupted this (flow,seq): the payload
+        // is dropped later, at the consuming Recv, and the drop is
+        // charged back to this link.
+        pendingMbe_[{FlowId(ev.a), std::uint32_t(ev.b)}].push_back(
+            LinkId(ev.actor));
+        if (ev.span != kSpanNone) {
+            auto it = transfers_.find(spanParent(ev.span));
+            if (it != transfers_.end())
+                ++it->second.mbes;
+        }
     }
 }
 
@@ -143,8 +176,41 @@ ProfilerSink::ssnEvent(const TraceEvent &ev)
         ++sendEvents_;
         return;
     }
+    if (name == "span_open") {
+        TransferRecord &tr = transfers_[ev.span];
+        tr.flow = FlowId(ev.a);
+        tr.seq = std::uint32_t(ev.b);
+        tr.src = ev.actor;
+        tr.openTick = ev.tick;
+        return;
+    }
+    if (name == "span_close") {
+        auto it = transfers_.find(ev.span);
+        if (it != transfers_.end()) {
+            TransferRecord &tr = it->second;
+            tr.dst = ev.actor;
+            tr.closeTick = ev.tick;
+            tr.waitPs = tr.haveArrival && ev.tick >= tr.lastArrival
+                            ? ev.tick - tr.lastArrival
+                            : 0;
+            tr.closed = true;
+        }
+        return;
+    }
     if (name != "recv" && name != "corrupt")
         return; // schedule-replay markers (hop/flow/makespan)
+
+    if (name == "corrupt") {
+        // This Recv is where an earlier MBE finally costs a payload:
+        // attribute the drop to the link that corrupted the vector.
+        auto pm = pendingMbe_.find({FlowId(ev.a), std::uint32_t(ev.b)});
+        if (pm != pendingMbe_.end() && !pm->second.empty()) {
+            ++links_[pm->second.front()].dropped;
+            pm->second.erase(pm->second.begin());
+            if (pm->second.empty())
+                pendingMbe_.erase(pm);
+        }
+    }
 
     ++recvEvents_;
     lastRecvTick_ = std::max(lastRecvTick_, ev.tick);

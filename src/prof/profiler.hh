@@ -13,7 +13,15 @@
  *    histogram of receive queueing delay (flit arrival to the
  *    consuming Recv), the slack the SSN schedule left at the
  *    receiver. Histograms live in a MetricsRegistry so --metrics
- *    reporting and the profiler share one mechanism.
+ *    reporting and the profiler share one mechanism. FEC multi-bit
+ *    errors are attributed back to the link that corrupted the flit:
+ *    `dropped` counts vectors whose payload was discarded at their
+ *    consuming Recv because of an MBE on that link.
+ *  - Per transfer (causal span, trace/span.hh): a cross-chip
+ *    waterfall — serialize, flight, forward-queue and deskew-wait
+ *    picoseconds that sum *exactly* to the observed end-to-end
+ *    latency between the span's open (source Send) and close
+ *    (destination Recv), however many forwarded hops lie between.
  *  - HAC alignment telemetry: every observed drift delta and applied
  *    correction, with a bounded timeline for convergence plots.
  *  - The simulated completion time of the scheduled communication,
@@ -72,8 +80,67 @@ struct LinkAccount
     std::uint64_t flits = 0;
     std::uint64_t mbes = 0;
 
+    /**
+     * Vectors whose payload was dropped at the consuming Recv because
+     * an FEC multi-bit error on *this* link corrupted them (paper
+     * §4.5: MBEs are detected and flagged, never retried, so every
+     * MBE eventually surfaces as one dropped payload downstream).
+     */
+    std::uint64_t dropped = 0;
+
     /** Transmitter serialization time. */
     Tick busyPs = 0;
+};
+
+/**
+ * One vector's cross-chip journey, reconstructed from its causal span
+ * (trace/span.hh): opened by the source chip's Send, one link leg per
+ * tx/rx pair (forwarded routes have several), closed by the consuming
+ * Recv at the final destination. The four waterfall stages tile the
+ * observed latency exactly:
+ *
+ *   serializePs + flightPs + forwardPs + waitPs == closeTick - openTick
+ *
+ * because tx durations, inter-leg gaps and the final arrival-to-Recv
+ * gap telescope over the journey.
+ */
+struct TransferRecord
+{
+    FlowId flow = 0;
+    std::uint32_t seq = 0;
+    TspId src = 0; ///< chip whose Send opened the span
+    TspId dst = 0; ///< chip whose Recv closed it (valid once closed)
+
+    Tick openTick = 0;
+    Tick closeTick = 0;
+
+    /** Time spent clocking the vector onto wires (all legs). */
+    Tick serializePs = 0;
+    /** Time in flight on the physical links (all legs). */
+    Tick flightPs = 0;
+    /** Layover on forwarding chips between arrival and onward Send. */
+    Tick forwardPs = 0;
+    /** Deskew margin at the destination: arrival to consuming Recv. */
+    Tick waitPs = 0;
+
+    unsigned legs = 0;        ///< link legs observed
+    std::uint64_t mbes = 0;   ///< legs corrupted by an FEC MBE
+    bool closed = false;      ///< span_close seen
+
+    /** Observed end-to-end latency (0 until closed). */
+    Tick totalPs() const { return closed ? closeTick - openTick : 0; }
+
+    /** The telescoping invariant; holds for every closed transfer. */
+    Tick stagesPs() const
+    {
+        return serializePs + flightPs + forwardPs + waitPs;
+    }
+
+    /// @name Sink-internal pairing state
+    /// @{
+    Tick lastArrival = 0;
+    bool haveArrival = false;
+    /// @}
 };
 
 /** HAC alignment telemetry. */
@@ -122,6 +189,12 @@ class ProfilerSink : public TraceSink
     const std::map<TspId, ChipAccount> &chips() const { return chips_; }
     const std::map<LinkId, LinkAccount> &links() const { return links_; }
     const HacAccount &hac() const { return hac_; }
+
+    /** Per-transfer waterfalls, keyed by parent span id. */
+    const std::map<SpanId, TransferRecord> &transfers() const
+    {
+        return transfers_;
+    }
 
     /** Registry holding the per-link queue-delay histograms. */
     const MetricsRegistry &metrics() const { return reg_; }
@@ -178,6 +251,14 @@ class ProfilerSink : public TraceSink
     std::map<std::pair<FlowId, std::uint32_t>,
              std::vector<std::pair<Tick, LinkId>>>
         inFlight_;
+
+    /** Transfer waterfalls keyed by parent span id. */
+    std::map<SpanId, TransferRecord> transfers_;
+
+    /** MBE-corrupted (flow,seq) awaiting their dropping Recv: the
+     *  links to charge, oldest first. */
+    std::map<std::pair<FlowId, std::uint32_t>, std::vector<LinkId>>
+        pendingMbe_;
 
     /** Mnemonic -> opcode, for attributing chip events. */
     std::unordered_map<std::string, Op> opByName_;

@@ -15,6 +15,9 @@ namespace {
 /** Cap on critical-path hops serialized into the JSON document. */
 constexpr std::size_t kMaxJsonPathHops = 128;
 
+/** Cap on per-transfer waterfalls serialized into the document. */
+constexpr std::size_t kMaxJsonTransfers = 512;
+
 Json
 histogramJson(const Log2Histogram &h)
 {
@@ -128,6 +131,7 @@ ProfileCollector::report() const
             l.set("id", id);
             l.set("flits", acct.flits);
             l.set("mbes", acct.mbes);
+            l.set("dropped_flits", acct.dropped);
             l.set("busy_ps", acct.busyPs);
             l.set("util", frac(double(acct.busyPs), spanPs));
             if (const Log2Histogram *h = s.queueDelay(id))
@@ -136,6 +140,49 @@ ProfileCollector::report() const
         }
         root.set("links", std::move(links));
         root.set("queue_delay_ps", histogramJson(s.queueDelayAll()));
+    }
+
+    {
+        // Per-transfer cross-chip waterfalls (causal spans). The four
+        // stages of every closed transfer tile its observed latency
+        // exactly; "exact" records that invariant per entry so report
+        // consumers need not recompute it.
+        Json transfers = Json::array();
+        std::size_t closed = 0, exact = 0, serialized = 0;
+        for (const auto &[span, tr] : s.transfers()) {
+            if (tr.closed) {
+                ++closed;
+                if (tr.stagesPs() == tr.totalPs())
+                    ++exact;
+            }
+            if (serialized >= kMaxJsonTransfers)
+                continue;
+            ++serialized;
+            Json t = Json::object();
+            t.set("flow", tr.flow);
+            t.set("seq", tr.seq);
+            t.set("src", tr.src);
+            t.set("dst", tr.dst);
+            t.set("legs", tr.legs);
+            t.set("open_ps", tr.openTick);
+            t.set("close_ps", tr.closeTick);
+            t.set("total_ps", tr.totalPs());
+            t.set("serialize_ps", tr.serializePs);
+            t.set("flight_ps", tr.flightPs);
+            t.set("forward_ps", tr.forwardPs);
+            t.set("wait_ps", tr.waitPs);
+            t.set("mbes", tr.mbes);
+            t.set("closed", tr.closed);
+            t.set("exact", tr.closed && tr.stagesPs() == tr.totalPs());
+            transfers.push(std::move(t));
+        }
+        root.set("transfers", std::move(transfers));
+        Json sum = Json::object();
+        sum.set("total", s.transfers().size());
+        sum.set("closed", closed);
+        sum.set("exact", exact);
+        sum.set("truncated", s.transfers().size() > kMaxJsonTransfers);
+        root.set("transfers_summary", std::move(sum));
     }
 
     {
@@ -293,7 +340,7 @@ renderProfileSummary(const Json &report, unsigned top_k)
         out += format("\ntop {} links by utilization (of {}):\n",
                       sorted.size(), links.size());
         Table t({"link", "flits", "util", "qdelay p50", "p95", "p99",
-                 "mbes"});
+                 "mbes", "dropped"});
         for (const Json *l : sorted) {
             const Json &q = (*l)["queue_delay_ps"];
             auto qcell = [&](const char *key) {
@@ -303,9 +350,52 @@ renderProfileSummary(const Json &report, unsigned top_k)
             t.addRow({Table::num((*l)["id"].integer()),
                       Table::num((*l)["flits"].integer()), pct((*l)["util"]),
                       qcell("p50"), qcell("p95"), qcell("p99"),
-                      Table::num((*l)["mbes"].integer())});
+                      Table::num((*l)["mbes"].integer()),
+                      (*l)["dropped_flits"].isNull()
+                          ? std::string("-")
+                          : Table::num((*l)["dropped_flits"].integer())});
         }
         out += t.ascii();
+    }
+
+    const Json &transfers = report["transfers"];
+    const Json &tsum = report["transfers_summary"];
+    if (!transfers.isNull() && transfers.size() > 0) {
+        // Slowest transfers first: the waterfall names which stage of
+        // which vector journey dominates the communication time.
+        std::vector<const Json *> sorted;
+        for (const Json &t : transfers.items())
+            if (t["closed"].boolean())
+                sorted.push_back(&t);
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const Json *a, const Json *b) {
+                             return (*a)["total_ps"].integer() >
+                                    (*b)["total_ps"].integer();
+                         });
+        if (sorted.size() > top_k)
+            sorted.resize(top_k);
+        if (!sorted.empty()) {
+            out += format("\ntop {} transfers by latency (of {} closed",
+                          sorted.size(), tsum["closed"].integer());
+            if (!tsum.isNull())
+                out += format(", {} stage-exact", tsum["exact"].integer());
+            out += "):\n";
+            Table t({"flow:seq", "route", "legs", "serialize", "flight",
+                     "forward", "wait", "total ps"});
+            for (const Json *tr : sorted) {
+                t.addRow({format("{}:{}", (*tr)["flow"].integer(),
+                                 (*tr)["seq"].integer()),
+                          format("{}->{}", (*tr)["src"].integer(),
+                                 (*tr)["dst"].integer()),
+                          Table::num((*tr)["legs"].integer()),
+                          Table::num((*tr)["serialize_ps"].integer()),
+                          Table::num((*tr)["flight_ps"].integer()),
+                          Table::num((*tr)["forward_ps"].integer()),
+                          Table::num((*tr)["wait_ps"].integer()),
+                          Table::num((*tr)["total_ps"].integer())});
+            }
+            out += t.ascii();
+        }
     }
 
     const Json &hac = report["hac"];

@@ -19,6 +19,10 @@ TsmSystem::TsmSystem(const SystemConfig &config, Topology topo)
         digest_ = std::make_unique<DigestSink>();
         eq_.tracer().addSink(digest_.get());
     }
+    if (!config_.journalPath.empty()) {
+        journal_ = std::make_unique<JournalSink>(config_.journalPath);
+        eq_.tracer().addSink(journal_.get());
+    }
     buildChips();
 }
 
@@ -32,6 +36,15 @@ std::uint64_t
 TsmSystem::digestEvents() const
 {
     return digest_ ? digest_->events() : 0;
+}
+
+std::uint64_t
+TsmSystem::finishJournal()
+{
+    if (!journal_)
+        return 0;
+    journal_->finish();
+    return journal_->eventsWritten();
 }
 
 void

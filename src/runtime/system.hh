@@ -17,6 +17,7 @@
 #include "sync/program_alignment.hh"
 #include "sync/sync_tree.hh"
 #include "trace/digest.hh"
+#include "trace/journal.hh"
 
 namespace tsm {
 
@@ -42,6 +43,14 @@ struct SystemConfig
      * Two runs are bit-identical iff their digests match.
      */
     bool captureDigest = false;
+
+    /**
+     * Record the canonical tsm-journal-v1 event journal to this path
+     * for the system's whole lifetime (all categories). Two journals
+     * from equal-seed runs must be byte-identical; when they are not,
+     * tools/tsm_diverge locates the first diverging event.
+     */
+    std::string journalPath;
 
     std::uint64_t seed = 1;
 };
@@ -73,6 +82,9 @@ class TsmSystem
 
     /** Traced events folded into the digest so far (0 if off). */
     std::uint64_t digestEvents() const;
+
+    /** Flush the journal (if configured) and return events written. */
+    std::uint64_t finishJournal();
 
     /**
      * Run the HAC spanning-tree alignment for `duration` and stop it.
@@ -111,6 +123,7 @@ class TsmSystem
     std::vector<std::unique_ptr<TspChip>> chips_;
     std::vector<bool> launched_;
     std::unique_ptr<DigestSink> digest_;
+    std::unique_ptr<JournalSink> journal_;
 };
 
 } // namespace tsm

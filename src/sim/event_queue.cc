@@ -5,16 +5,16 @@
 namespace tsm {
 
 void
-EventQueue::schedule(Tick when, Callback fn)
+EventQueue::schedule(Tick when, Callback fn, SpanId span)
 {
     TSM_ASSERT(when >= now_, "cannot schedule an event in the past");
-    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    heap_.push(Entry{when, nextSeq_++, std::move(fn), span});
 }
 
 void
-EventQueue::scheduleAfter(Tick delay, Callback fn)
+EventQueue::scheduleAfter(Tick delay, Callback fn, SpanId span)
 {
-    schedule(now_ + delay, std::move(fn));
+    schedule(now_ + delay, std::move(fn), span);
 }
 
 std::uint64_t
@@ -28,7 +28,7 @@ EventQueue::run(std::uint64_t limit)
         now_ = top.when;
         if (tracer_.wants(TraceCat::Sim))
             tracer_.emit({top.when, 0, TraceCat::Sim, 0, "dispatch",
-                          std::int64_t(top.seq), 0});
+                          std::int64_t(top.seq), 0, top.span});
         top.fn();
         ++executed;
     }
@@ -45,7 +45,7 @@ EventQueue::runUntil(Tick until)
         now_ = top.when;
         if (tracer_.wants(TraceCat::Sim))
             tracer_.emit({top.when, 0, TraceCat::Sim, 0, "dispatch",
-                          std::int64_t(top.seq), 0});
+                          std::int64_t(top.seq), 0, top.span});
         top.fn();
         ++executed;
     }

@@ -37,11 +37,16 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return heap_.size(); }
 
-    /** Schedule `fn` to run at absolute time `when` (>= now). */
-    void schedule(Tick when, Callback fn);
+    /**
+     * Schedule `fn` to run at absolute time `when` (>= now). `span`
+     * tags the dispatch trace event with the causal transfer the
+     * callback serves (e.g. a flit delivery), so a divergence in the
+     * dispatch stream itself can be traced back to a transfer.
+     */
+    void schedule(Tick when, Callback fn, SpanId span = kSpanNone);
 
     /** Schedule `fn` to run `delay` picoseconds from now. */
-    void scheduleAfter(Tick delay, Callback fn);
+    void scheduleAfter(Tick delay, Callback fn, SpanId span = kSpanNone);
 
     /**
      * Run events until the queue drains or `limit` events have executed.
@@ -74,6 +79,7 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Callback fn;
+        SpanId span;
     };
 
     struct Later

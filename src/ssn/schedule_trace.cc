@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/units.hh"
+#include "trace/span.hh"
 
 namespace tsm {
 
@@ -24,11 +25,13 @@ traceSchedule(Tracer &tracer, const NetworkSchedule &sched)
 
     std::uint64_t emitted = 0;
     for (const ScheduledVector &v : sched.vectors) {
-        for (const ScheduledHop &h : v.hops) {
-            tracer.emit({cycleToPs(h.depart),
-                         cycleToPs(h.arrive) - cycleToPs(h.depart),
-                         TraceCat::Ssn, h.link, "hop", std::int64_t(v.flow),
-                         std::int64_t(v.seq)});
+        for (std::size_t h = 0; h < v.hops.size(); ++h) {
+            const ScheduledHop &hop = v.hops[h];
+            tracer.emit({cycleToPs(hop.depart),
+                         cycleToPs(hop.arrive) - cycleToPs(hop.depart),
+                         TraceCat::Ssn, hop.link, "hop", std::int64_t(v.flow),
+                         std::int64_t(v.seq),
+                         spanChild(transferSpan(v.flow, v.seq), unsigned(h))});
             ++emitted;
         }
     }

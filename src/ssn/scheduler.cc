@@ -368,6 +368,8 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                 rx.dst = std::uint8_t(s_in);
                 rx.flow = sv.flow;
                 rx.seq = sv.seq;
+                rx.hop = std::uint8_t(h);
+                rx.lastHop = false;
                 rx.issueAt = rx_cycle;
                 events[to].push_back({rx_cycle, false, rx});
 
@@ -392,6 +394,7 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                 fwd.srcA = std::uint8_t(s_out);
                 fwd.flow = sv.flow;
                 fwd.seq = sv.seq;
+                fwd.hop = std::uint8_t(h + 1);
                 fwd.issueAt = send_at;
                 events[to].push_back({send_at, true, fwd});
             } else {
@@ -401,6 +404,8 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                 rx.dst = std::uint8_t(stream);
                 rx.flow = sv.flow;
                 rx.seq = sv.seq;
+                rx.hop = std::uint8_t(h);
+                rx.lastHop = last_hop;
                 rx.issueAt = rx_cycle;
                 events[to].push_back({rx_cycle, false, rx});
 
@@ -413,6 +418,7 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                     fwd.srcA = std::uint8_t(stream);
                     fwd.flow = sv.flow;
                     fwd.seq = sv.seq;
+                    fwd.hop = std::uint8_t(h + 1);
                     fwd.issueAt = sv.hops[h + 1].depart;
                     events[to].push_back(
                         {sv.hops[h + 1].depart, true, fwd});
@@ -458,6 +464,7 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                 tx.srcA = std::uint8_t(tx_stream);
                 tx.flow = sv.flow;
                 tx.seq = sv.seq;
+                tx.hop = 0;
                 tx.issueAt = hop.depart;
                 events[hop.from].push_back({hop.depart, true, tx});
             }

@@ -39,10 +39,16 @@ HacAligner::sendUpdate()
 {
     if (!active_)
         return;
+    // Each alignment round is a (tiny) causal transfer of its own:
+    // stamp the update flit so the child-side hac_adj can be tied back
+    // to the parent-side hac_tx that caused it.
+    const SpanId round_span =
+        transferSpan(kFlowHacExchange, std::uint32_t(rounds_++));
     Flit update;
     update.flow = kFlowHacExchange;
     update.seq = 2; // alignment update (probes use 0/1)
     update.meta = parent_.hac();
+    update.span = round_span;
     parent_.network().controlTransmit(parent_.id(), link_,
                                       std::move(update));
     // Schedule the next periodic update on the parent's clock.
@@ -50,7 +56,7 @@ HacAligner::sendUpdate()
     if (eq.tracer().wants(TraceCat::Sync))
         eq.tracer().emit({eq.now(), 0, TraceCat::Sync, parent_.id(),
                           "hac_tx", std::int64_t(parent_.hac()),
-                          std::int64_t(child_.id())});
+                          std::int64_t(child_.id()), round_span});
     const Tick next = parent_.clock().cycleToTick(
         parent_.localCycle() + config_.updatePeriodCycles);
     eq.schedule(next, [this] { sendUpdate(); });
@@ -92,7 +98,7 @@ HacAligner::childHandler(const ArrivedFlit &af)
     if (eq.tracer().wants(TraceCat::Sync))
         eq.tracer().emit({eq.now(), 0, TraceCat::Sync, child_.id(),
                           "hac_adj", std::int64_t(diff),
-                          std::int64_t(step)});
+                          std::int64_t(step), af.flit.span});
 }
 
 bool

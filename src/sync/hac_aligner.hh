@@ -87,6 +87,7 @@ class HacAligner
     unsigned consecutiveSmall_ = 0;
     int convergedTol_ = 2;
     std::uint64_t updates_ = 0;
+    std::uint32_t rounds_ = 0; ///< update rounds sent (span sequence)
     Accumulator deltaMag_;
 };
 

@@ -1,6 +1,7 @@
 #include "trace/chrome_trace.hh"
 
 #include <cstdio>
+#include <string_view>
 
 #include "common/format.hh"
 #include "common/log.hh"
@@ -77,10 +78,48 @@ ChromeTraceSink::event(const TraceEvent &ev)
         rec += format("\"dur\":{},", psToUsField(ev.dur));
     else
         rec += "\"s\":\"t\",";
-    rec += format("\"pid\":{},\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+    rec += format("\"pid\":{},\"tid\":{},\"args\":{{\"a\":{},\"b\":{}",
                   unsigned(ev.cat), ev.actor, ev.a, ev.b);
+    if (ev.span != kSpanNone)
+        rec += format(",\"span\":\"{}\"", spanStr(ev.span));
+    rec += "}}";
     writeRecord(rec);
     ++events_;
+    maybeWriteFlow(ev);
+}
+
+/**
+ * Causal transfers render as Perfetto flow arrows: the span open is a
+ * flow start (ph "s"), every link-leg arrival a flow step ("t"), and
+ * the consuming receive the flow finish ("f"), all keyed by the
+ * transfer's parent span id so multi-hop journeys connect across the
+ * chip and link lanes.
+ */
+void
+ChromeTraceSink::maybeWriteFlow(const TraceEvent &ev)
+{
+    if (ev.span == kSpanNone)
+        return;
+    const std::string_view name(ev.name);
+    std::string_view ph;
+    if (ev.cat == TraceCat::Ssn && name == "span_open")
+        ph = "s";
+    else if (ev.cat == TraceCat::Net && name == "rx")
+        ph = "t";
+    else if (ev.cat == TraceCat::Ssn && name == "span_close")
+        ph = "f";
+    else
+        return;
+    std::string rec =
+        format("{{\"name\":\"transfer\",\"cat\":\"span\",\"ph\":\"{}\","
+               "\"id\":{},\"ts\":{},\"pid\":{},\"tid\":{}",
+               ph, std::uint64_t(spanParent(ev.span)), psToUsField(ev.tick),
+               unsigned(ev.cat), ev.actor);
+    if (ph == "f")
+        rec += ",\"bp\":\"e\""; // bind to the enclosing slice
+    rec += "}";
+    writeRecord(rec);
+    ++flows_;
 }
 
 void

@@ -46,6 +46,9 @@ class ChromeTraceSink : public TraceSink
     /** Number of trace events written (metadata excluded). */
     std::uint64_t eventsWritten() const { return events_; }
 
+    /** Number of flow-phase records (s/t/f arrows) written. */
+    std::uint64_t flowsWritten() const { return flows_; }
+
   private:
     /** Emit the opening bracket and per-category process metadata. */
     void writeHeader();
@@ -53,11 +56,15 @@ class ChromeTraceSink : public TraceSink
     /** Write one raw JSON object, handling separators. */
     void writeRecord(const std::string &json);
 
+    /** Emit a flow-phase record for span open/step/close events. */
+    void maybeWriteFlow(const TraceEvent &ev);
+
     std::unique_ptr<std::ofstream> owned_;
     std::ostream *os_;
     unsigned mask_;
     std::uint64_t records_ = 0;
     std::uint64_t events_ = 0;
+    std::uint64_t flows_ = 0;
     bool finished_ = false;
 };
 

@@ -38,6 +38,7 @@ DigestSink::event(const TraceEvent &ev)
     h = fnv1a64(h, ev.name, std::strlen(ev.name));
     h = fnv1a64Word(h, std::uint64_t(ev.a));
     h = fnv1a64Word(h, std::uint64_t(ev.b));
+    h = fnv1a64Word(h, ev.span);
     digest_ = h;
     ++events_;
 }

@@ -22,6 +22,8 @@ TraceOptions::fromArgs(int &argc, char **argv)
             opts.digest = true;
         } else if (std::strncmp(arg, "--report=", 9) == 0) {
             opts.reportPath = arg + 9;
+        } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+            opts.journalPath = arg + 10;
         } else {
             argv[out++] = argv[i];
         }
@@ -40,6 +42,8 @@ TraceOptions::registerFlags(CliParser &parser)
                    "print the golden timeline digest at exit");
     parser.addValue("--report", &reportPath,
                     "write a JSON profile report to FILE");
+    parser.addValue("--journal", &journalPath,
+                    "record the canonical event journal to FILE");
 }
 
 TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
@@ -50,6 +54,8 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
         metricsSink_ = std::make_unique<MetricsSink>();
     if (opts_.digest)
         digestSink_ = std::make_unique<DigestSink>();
+    if (!opts_.journalPath.empty())
+        journal_ = std::make_unique<JournalSink>(opts_.journalPath);
     if (!opts_.reportPath.empty())
         profile_ = std::make_unique<ProfileCollector>();
 }
@@ -62,7 +68,7 @@ TraceSession::~TraceSession()
 bool
 TraceSession::active() const
 {
-    return chrome_ || metricsSink_ || digestSink_ || profile_;
+    return chrome_ || metricsSink_ || digestSink_ || journal_ || profile_;
 }
 
 void
@@ -76,6 +82,8 @@ TraceSession::attach(Tracer &tracer)
         tracer.addSink(metricsSink_.get());
     if (digestSink_)
         tracer.addSink(digestSink_.get());
+    if (journal_)
+        tracer.addSink(journal_.get());
     if (profile_)
         tracer.addSink(&profile_->sink());
 }
@@ -91,6 +99,8 @@ TraceSession::detach()
         tracer_->removeSink(metricsSink_.get());
     if (digestSink_)
         tracer_->removeSink(digestSink_.get());
+    if (journal_)
+        tracer_->removeSink(journal_.get());
     if (profile_)
         tracer_->removeSink(&profile_->sink());
     tracer_ = nullptr;
@@ -129,6 +139,12 @@ TraceSession::finish()
         std::printf("timeline digest: 0x%016llx (%llu events)\n",
                     (unsigned long long)digestSink_->digest(),
                     (unsigned long long)digestSink_->events());
+    }
+    if (journal_) {
+        journal_->finish();
+        std::printf("journal: wrote %llu events to %s\n",
+                    (unsigned long long)journal_->eventsWritten(),
+                    opts_.journalPath.c_str());
     }
     if (profile_) {
         profile_->sink().finish();

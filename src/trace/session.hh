@@ -8,6 +8,8 @@
  *   --digest       print the 64-bit golden timeline digest at exit
  *   --report=FILE  write a machine-readable profile report (JSON) and
  *                  print its human-readable summary at exit
+ *   --journal=FILE record the canonical tsm-journal-v1 event journal
+ *                  to FILE (compare two with tools/tsm_diverge)
  *
  * A TraceSession owns the sinks the options imply and attaches them to
  * whichever Tracer the harness is currently driving. The tracer is
@@ -24,6 +26,7 @@
 #include "common/cli.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/digest.hh"
+#include "trace/journal.hh"
 #include "trace/metrics.hh"
 
 namespace tsm {
@@ -44,6 +47,9 @@ struct TraceOptions
 
     /** Profile report output path; empty = no profiling. */
     std::string reportPath;
+
+    /** Canonical event journal output path; empty = no journal. */
+    std::string journalPath;
 
     /**
      * Scan argv for the options above, removing every recognized
@@ -108,6 +114,7 @@ class TraceSession
     std::unique_ptr<ChromeTraceSink> chrome_;
     std::unique_ptr<MetricsSink> metricsSink_;
     std::unique_ptr<DigestSink> digestSink_;
+    std::unique_ptr<JournalSink> journal_;
     std::unique_ptr<ProfileCollector> profile_;
     Tracer *tracer_ = nullptr;
     bool finished_ = false;

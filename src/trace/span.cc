@@ -1,0 +1,18 @@
+#include "trace/span.hh"
+
+#include "common/format.hh"
+
+namespace tsm {
+
+std::string
+spanStr(SpanId span)
+{
+    if (span == kSpanNone)
+        return "-";
+    if (spanIsChild(span))
+        return format("{}:{}/hop{}", spanFlow(span), spanSeq(span),
+                      spanHop(span));
+    return format("{}:{}", spanFlow(span), spanSeq(span));
+}
+
+} // namespace tsm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Causal transfer spans.
+ *
+ * A `SpanId` names one vector's end-to-end journey through the
+ * machine: allocated when the transfer is scheduled (or at the source
+ * chip's first Send), carried on the flit across every `src/net` hop —
+ * including nonminimal forwarded paths — and closed at the destination
+ * chip's consuming receive. Every trace event along the way carries
+ * the id, so a per-transfer cross-chip waterfall can be reconstructed
+ * from the flat event stream (prof/profiler.hh) and a diverging event
+ * in a journal can be traced back to its causal ancestry
+ * (tools/tsm_diverge).
+ *
+ * Ids are a pure function of the compiler-assigned (flow, seq) tags
+ * plus the hop index, so they are identical across runs by
+ * construction — the property the determinism auditor relies on. The
+ * *parent* span names the whole transfer; each link leg gets a *child*
+ * span that encodes its hop index in the low byte:
+ *
+ *   bits [63:32]  flow + 1       (nonzero for every tagged flow,
+ *                                 including the reserved sync flows)
+ *   bits [31:8]   seq (mod 2^24) (vector index within the tensor)
+ *   bits [7:0]    0 for the parent, hop + 1 for leg children
+ */
+
+#ifndef TSM_TRACE_SPAN_HH
+#define TSM_TRACE_SPAN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tsm {
+
+/** One transfer's (or transfer leg's) identity on the timeline. */
+using SpanId = std::uint64_t;
+
+/** "No span": events outside any transfer carry this. */
+inline constexpr SpanId kSpanNone = 0;
+
+/** Parent span of the whole (flow, seq) transfer. */
+constexpr SpanId
+transferSpan(std::uint32_t flow, std::uint32_t seq)
+{
+    return (SpanId(flow) + 1) << 32 | SpanId(seq & 0xffffff) << 8;
+}
+
+/** Child span of hop `hop` (0 = the source's first link) of `parent`. */
+constexpr SpanId
+spanChild(SpanId parent, unsigned hop)
+{
+    return (parent & ~SpanId(0xff)) | SpanId((hop + 1) & 0xff);
+}
+
+/** The transfer span a leg child belongs to (identity on parents). */
+constexpr SpanId
+spanParent(SpanId span)
+{
+    return span & ~SpanId(0xff);
+}
+
+/** True if `span` names one link leg rather than the whole transfer. */
+constexpr bool
+spanIsChild(SpanId span)
+{
+    return (span & 0xff) != 0;
+}
+
+/** Hop index encoded in a child span (0 for the parent itself). */
+constexpr unsigned
+spanHop(SpanId span)
+{
+    const unsigned low = unsigned(span & 0xff);
+    return low == 0 ? 0 : low - 1;
+}
+
+/** Flow tag the span was derived from. */
+constexpr std::uint32_t
+spanFlow(SpanId span)
+{
+    return std::uint32_t(span >> 32) - 1;
+}
+
+/** Sequence tag the span was derived from (mod 2^24). */
+constexpr std::uint32_t
+spanSeq(SpanId span)
+{
+    return std::uint32_t((span >> 8) & 0xffffff);
+}
+
+/** Render "flow:seq" (parent) or "flow:seq/hopN" (leg child). */
+std::string spanStr(SpanId span);
+
+} // namespace tsm
+
+#endif // TSM_TRACE_SPAN_HH

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "trace/span.hh"
 
 namespace tsm {
 
@@ -83,6 +84,13 @@ struct TraceEvent
     /** Two free payload words (flow/seq, delta/count, ...). */
     std::int64_t a = 0;
     std::int64_t b = 0;
+
+    /**
+     * Causal transfer span this event belongs to (trace/span.hh), or
+     * kSpanNone. Lets sinks stitch one vector's journey back together
+     * across chips and link legs.
+     */
+    SpanId span = kSpanNone;
 };
 
 /** Receiver of trace events. */

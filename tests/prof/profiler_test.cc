@@ -105,8 +105,8 @@ TEST(Profiler, ReportSchemaGolden)
 
     const std::vector<std::string> top = {
         "schema", "bench",          "seed", "cycles", "sim",
-        "throughput", "chips",      "links", "queue_delay_ps", "hac",
-        "ssn"};
+        "throughput", "chips",      "links", "queue_delay_ps",
+        "transfers", "transfers_summary", "hac", "ssn"};
     ASSERT_EQ(report.members().size(), top.size());
     for (std::size_t i = 0; i < top.size(); ++i)
         EXPECT_EQ(report.members()[i].first, top[i]) << "key " << i;
@@ -132,6 +132,26 @@ TEST(Profiler, ReportSchemaGolden)
                             "busy", "stall", "idle", "util", "busy_frac",
                             "stall_frac", "idle_frac"})
         EXPECT_TRUE(c0.has(key)) << key;
+
+    // Link entries attribute FEC drops; transfer entries carry the
+    // exact waterfall decomposition.
+    ASSERT_GT(report["links"].size(), 0u);
+    EXPECT_TRUE(report["links"].at(0).has("dropped_flits"));
+    ASSERT_GT(report["transfers"].size(), 0u);
+    for (const Json &t : report["transfers"].items()) {
+        for (const char *key :
+             {"flow", "seq", "src", "dst", "legs", "open_ps", "close_ps",
+              "total_ps", "serialize_ps", "flight_ps", "forward_ps",
+              "wait_ps", "mbes", "closed", "exact"})
+            EXPECT_TRUE(t.has(key)) << key;
+        EXPECT_TRUE(t["closed"].boolean());
+        EXPECT_TRUE(t["exact"].boolean());
+        EXPECT_EQ(t["serialize_ps"].integer() + t["flight_ps"].integer() +
+                      t["forward_ps"].integer() + t["wait_ps"].integer(),
+                  t["total_ps"].integer());
+    }
+    EXPECT_EQ(report["transfers_summary"]["closed"].integer(),
+              report["transfers_summary"]["exact"].integer());
 
     // The document round-trips through the parser.
     std::string error;

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/chip.hh"
+#include "net/network.hh"
+#include "sim/event_queue.hh"
+#include "ssn/scheduler.hh"
+#include "trace/journal.hh"
+#include "trace/span.hh"
+
+namespace tsm {
+namespace {
+
+TEST(JournalLine, RoundTripsEveryField)
+{
+    const TraceEvent ev{12345, 0, TraceCat::Net, 7, "tx", -3, 99,
+                        spanChild(transferSpan(4, 20), 1)};
+    const std::string line = journalLine(ev);
+    JournalRecord rec;
+    ASSERT_TRUE(parseJournalLine(line, rec)) << line;
+    EXPECT_EQ(rec.tick, ev.tick);
+    EXPECT_EQ(rec.cat, "net");
+    EXPECT_EQ(rec.actor, ev.actor);
+    EXPECT_EQ(rec.name, "tx");
+    EXPECT_EQ(rec.a, ev.a);
+    EXPECT_EQ(rec.b, ev.b);
+    EXPECT_EQ(rec.span, ev.span);
+}
+
+TEST(JournalLine, RejectsMalformedLines)
+{
+    JournalRecord rec;
+    EXPECT_FALSE(parseJournalLine("", rec));
+    EXPECT_FALSE(parseJournalLine("12 net 0", rec));
+    EXPECT_FALSE(parseJournalLine("12 net 0 tx 1 2 0 extra", rec));
+    EXPECT_FALSE(parseJournalLine("x net 0 tx 1 2 0", rec));
+}
+
+TEST(JournalSink, WritesMagicAndOneLinePerEvent)
+{
+    std::ostringstream os;
+    {
+        JournalSink sink(os);
+        EXPECT_EQ(sink.categoryMask(), kTraceAllCats);
+        sink.event({1, 0, TraceCat::Sim, 0, "dispatch", 0, 0});
+        sink.event({2, 0, TraceCat::Ssn, 3, "span_open", 5, 0,
+                    transferSpan(5, 0)});
+        sink.finish();
+        EXPECT_EQ(sink.eventsWritten(), 2u);
+    }
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, kJournalMagic);
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "1 sim 0 dispatch 0 0 0");
+    ASSERT_TRUE(std::getline(is, line));
+    JournalRecord rec;
+    ASSERT_TRUE(parseJournalLine(line, rec));
+    EXPECT_EQ(rec.span, transferSpan(5, 0));
+}
+
+TEST(ReadJournal, ReportsMissingFileAndBadMagic)
+{
+    std::vector<JournalRecord> recs;
+    std::string error;
+    EXPECT_FALSE(readJournal("/nonexistent/journal", recs, &error));
+    EXPECT_FALSE(error.empty());
+
+    const std::string path =
+        testing::TempDir() + "/journal_badmagic.tsmj";
+    {
+        std::ofstream f(path);
+        f << "not a journal\n";
+    }
+    error.clear();
+    EXPECT_FALSE(readJournal(path, recs, &error));
+    EXPECT_NE(error.find("not a tsm-journal-v1"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ReadJournal, RoundTripsThroughAFile)
+{
+    const std::string path = testing::TempDir() + "/journal_rt.tsmj";
+    {
+        JournalSink sink(path);
+        sink.event({10, 0, TraceCat::Chip, 1, "Send", 2, 0,
+                    spanChild(transferSpan(2, 0), 0)});
+        sink.event({20, 5, TraceCat::Net, 0, "tx", 2, 0});
+        sink.finish();
+    }
+    std::vector<JournalRecord> recs;
+    std::string error;
+    ASSERT_TRUE(readJournal(path, recs, &error)) << error;
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].name, "Send");
+    EXPECT_EQ(recs[0].span, spanChild(transferSpan(2, 0), 0));
+    EXPECT_EQ(recs[0].line, 2u);
+    EXPECT_EQ(recs[1].cat, "net");
+    std::remove(path.c_str());
+}
+
+/** Run the 2-flow scheduled scenario, journaling into `os`. */
+void
+runScenario(std::ostream &os, std::uint64_t seed, double mbe_rate)
+{
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    std::vector<TensorTransfer> transfers;
+    for (unsigned f = 0; f < 2; ++f) {
+        TensorTransfer t;
+        t.flow = f + 1;
+        t.src = TspId(f + 1);
+        t.dst = 0;
+        t.vectors = 8;
+        transfers.push_back(t);
+    }
+    const auto sched = scheduler.schedule(transfers);
+
+    EventQueue eq;
+    JournalSink sink(os);
+    eq.tracer().addSink(&sink);
+    Network net(topo, eq, Rng(seed));
+    if (mbe_rate > 0.0) {
+        ErrorModel errors;
+        errors.mbePerVector = mbe_rate;
+        net.setErrorModel(errors);
+    }
+    std::vector<std::unique_ptr<TspChip>> chips;
+    for (TspId t = 0; t < topo.numTsps(); ++t)
+        chips.push_back(std::make_unique<TspChip>(t, net, DriftClock()));
+    auto programs = buildPrograms(sched, topo);
+    for (TspId t = 0; t < topo.numTsps(); ++t) {
+        chips[t]->setStream(0, makeVec(Vec(1.0f)));
+        programs.byChip[t].emitHalt();
+        chips[t]->load(std::move(programs.byChip[t]));
+        chips[t]->start(0);
+    }
+    eq.run();
+    eq.tracer().removeSink(&sink);
+    sink.finish();
+}
+
+TEST(Journal, SameSeedRunsAreByteIdentical)
+{
+    std::ostringstream a, b;
+    runScenario(a, 1, 0.0);
+    runScenario(b, 1, 0.0);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_GT(a.str().size(), std::string(kJournalMagic).size() + 1);
+}
+
+TEST(Journal, InjectedMbeDivergesWithoutPerturbingTiming)
+{
+    std::ostringstream clean, faulty;
+    runScenario(clean, 1, 0.0);
+    runScenario(faulty, 1, 0.25);
+    ASSERT_NE(clean.str(), faulty.str());
+
+    // FEC MBEs corrupt payloads but never timing (paper §4.5): the
+    // faulty run gains "mbe" lines and renames recv->corrupt, so line
+    // counts differ but the tick sequence of common events matches.
+    std::istringstream ic(clean.str()), if_(faulty.str());
+    std::vector<JournalRecord> rc, rf;
+    std::string line;
+    std::getline(ic, line); // magic
+    while (std::getline(ic, line)) {
+        JournalRecord rec;
+        ASSERT_TRUE(parseJournalLine(line, rec));
+        rc.push_back(rec);
+    }
+    std::getline(if_, line);
+    std::size_t mbe_lines = 0;
+    while (std::getline(if_, line)) {
+        JournalRecord rec;
+        ASSERT_TRUE(parseJournalLine(line, rec));
+        if (rec.name == "mbe")
+            ++mbe_lines;
+        rf.push_back(rec);
+    }
+    EXPECT_GT(mbe_lines, 0u);
+    EXPECT_EQ(rf.size(), rc.size() + mbe_lines);
+}
+
+} // namespace
+} // namespace tsm

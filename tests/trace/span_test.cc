@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/span.hh"
+
+namespace tsm {
+namespace {
+
+TEST(Span, NoneIsDistinctFromEveryTransfer)
+{
+    EXPECT_EQ(kSpanNone, SpanId(0));
+    EXPECT_NE(transferSpan(0, 0), kSpanNone);
+    EXPECT_NE(transferSpan(1, 0), kSpanNone);
+}
+
+TEST(Span, PackingRoundTrips)
+{
+    for (std::uint32_t flow : {0u, 1u, 7u, 1000u, 0xfffffeu}) {
+        for (std::uint32_t seq : {0u, 1u, 31u, 0xffffffu - 1}) {
+            const SpanId parent = transferSpan(flow, seq);
+            EXPECT_EQ(spanFlow(parent), flow);
+            EXPECT_EQ(spanSeq(parent), seq);
+            EXPECT_FALSE(spanIsChild(parent));
+            EXPECT_EQ(spanParent(parent), parent);
+            EXPECT_EQ(spanHop(parent), 0u);
+        }
+    }
+}
+
+TEST(Span, ChildrenKeepIdentityAndHop)
+{
+    const SpanId parent = transferSpan(42, 1234);
+    for (unsigned hop : {0u, 1u, 2u, 5u, 200u}) {
+        const SpanId child = spanChild(parent, hop);
+        EXPECT_TRUE(spanIsChild(child));
+        EXPECT_EQ(spanParent(child), parent);
+        EXPECT_EQ(spanHop(child), hop);
+        EXPECT_EQ(spanFlow(child), 42u);
+        EXPECT_EQ(spanSeq(child), 1234u);
+        EXPECT_NE(child, parent);
+    }
+}
+
+TEST(Span, DistinctTransfersGetDistinctIds)
+{
+    std::set<SpanId> seen;
+    for (std::uint32_t flow = 0; flow < 16; ++flow)
+        for (std::uint32_t seq = 0; seq < 64; ++seq)
+            EXPECT_TRUE(seen.insert(transferSpan(flow, seq)).second)
+                << "collision at flow " << flow << " seq " << seq;
+    // Leg children never collide with any parent either.
+    for (SpanId parent : seen)
+        for (unsigned hop = 0; hop < 4; ++hop)
+            EXPECT_EQ(seen.count(spanChild(parent, hop)), 0u);
+}
+
+TEST(Span, IdsArePureFunctionsOfTags)
+{
+    // The auditor depends on run-to-run stability: the id must derive
+    // from compile-time tags only, never from allocation order.
+    EXPECT_EQ(transferSpan(3, 7), transferSpan(3, 7));
+    EXPECT_EQ(spanChild(transferSpan(3, 7), 2),
+              spanChild(transferSpan(3, 7), 2));
+}
+
+TEST(Span, Rendering)
+{
+    EXPECT_EQ(spanStr(kSpanNone), "-");
+    EXPECT_EQ(spanStr(transferSpan(5, 12)), "5:12");
+    EXPECT_EQ(spanStr(spanChild(transferSpan(5, 12), 0)), "5:12/hop0");
+    EXPECT_EQ(spanStr(spanChild(transferSpan(5, 12), 3)), "5:12/hop3");
+}
+
+} // namespace
+} // namespace tsm
