@@ -86,11 +86,9 @@ main(int argc, char **argv)
         transfers.push_back(t);
     }
     const auto schedule = scheduler.schedule(transfers);
-    if (ProfileCollector *prof = session.profile()) {
-        prof->setBench("fig08_ssn_vs_hw_contention");
-        prof->setSeed(6);
+    session.setRun("fig08_ssn_vs_hw_contention", 6);
+    if (ProfileCollector *prof = session.profile())
         prof->setSchedule(schedule, topo, transfers);
-    }
     const auto report = validateSchedule(schedule, topo);
     std::printf("software-scheduled network:\n");
     std::printf("  schedule: %zu vectors, 0 conflicts (%s), makespan "

@@ -15,7 +15,7 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "prof/report.hh"
-#include "ssn/schedule_trace.hh"
+#include "runtime/traced_scenario.hh"
 #include "ssn/scheduler.hh"
 #include "trace/session.hh"
 
@@ -61,37 +61,11 @@ main(int argc, char **argv)
     // all-to-all the stream-register allocator can lower single-hop.
     if (session.active()) {
         constexpr Bytes kTracedBytes = 32 * kKiB;
-        SsnScheduler scheduler(node);
         const auto transfers = tsp.reduceScatterTransfers(kTracedBytes, 1, 0);
-        const auto sched = scheduler.schedule(transfers);
-        if (ProfileCollector *prof = session.profile()) {
-            prof->setBench("fig16_allreduce");
-            prof->setSeed(seed);
-            prof->setSchedule(sched, node, transfers);
+        runScheduledScenario(session, node, transfers, "fig16_allreduce",
+                             seed, mbe);
+        if (ProfileCollector *prof = session.profile())
             prof->addExtra("traced_tensor_bytes", double(kTracedBytes));
-        }
-        EventQueue eq;
-        session.attach(eq.tracer());
-        traceSchedule(eq.tracer(), sched);
-        Network net(node, eq, Rng(seed));
-        if (mbe > 0.0) {
-            ErrorModel errors;
-            errors.mbePerVector = mbe;
-            net.setErrorModel(errors);
-        }
-        std::vector<std::unique_ptr<TspChip>> chips;
-        for (TspId t = 0; t < node.numTsps(); ++t)
-            chips.push_back(
-                std::make_unique<TspChip>(t, net, DriftClock()));
-        auto programs = buildPrograms(sched, node);
-        for (TspId t = 0; t < node.numTsps(); ++t) {
-            chips[t]->setStream(0, makeVec(Vec(1.0f)));
-            programs.byChip[t].emitHalt();
-            chips[t]->load(std::move(programs.byChip[t]));
-            chips[t]->start(0);
-        }
-        eq.run();
-        session.detach();
     }
     const GpuAllReduceModel gpu;
     // The TSP exposes 7x12.5 GB/s of intra-node links; pin-normalize

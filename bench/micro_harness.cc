@@ -14,8 +14,7 @@
 #include "arch/chip.hh"
 #include "common/cli.hh"
 #include "net/network.hh"
-#include "prof/report.hh"
-#include "ssn/schedule_trace.hh"
+#include "runtime/traced_scenario.hh"
 #include "ssn/scheduler.hh"
 #include "trace/session.hh"
 
@@ -122,7 +121,6 @@ runTracedScenario(const TraceOptions &opts, std::uint64_t seed, double mbe)
     TraceSession session(opts);
     const Topology topo = Topology::makeNode();
 
-    SsnScheduler scheduler(topo);
     std::vector<TensorTransfer> transfers;
     for (unsigned f = 0; f < 4; ++f) {
         TensorTransfer t;
@@ -132,37 +130,10 @@ runTracedScenario(const TraceOptions &opts, std::uint64_t seed, double mbe)
         t.vectors = 32;
         transfers.push_back(t);
     }
-    const auto schedule = scheduler.schedule(transfers);
-    if (ProfileCollector *prof = session.profile()) {
-        prof->setBench("micro_harness");
-        prof->setSeed(seed);
-        prof->setSchedule(schedule, topo, transfers);
-    }
-
-    EventQueue eq;
-    session.attach(eq.tracer());
-    traceSchedule(eq.tracer(), schedule);
-
-    Network net(topo, eq, Rng(seed));
-    if (mbe > 0.0) {
-        ErrorModel errors;
-        errors.mbePerVector = mbe;
-        net.setErrorModel(errors);
-    }
-    std::vector<std::unique_ptr<TspChip>> chips;
-    for (TspId t = 0; t < topo.numTsps(); ++t)
-        chips.push_back(std::make_unique<TspChip>(t, net, DriftClock()));
-    auto programs = buildPrograms(schedule, topo);
-    for (TspId t = 0; t < topo.numTsps(); ++t) {
-        chips[t]->setStream(0, makeVec(Vec(1.0f)));
-        programs.byChip[t].emitHalt();
-        chips[t]->load(std::move(programs.byChip[t]));
-        chips[t]->start(0);
-    }
-    eq.run();
+    const auto result = runScheduledScenario(session, topo, transfers,
+                                             "micro_harness", seed, mbe);
     std::printf("traced scenario: %llu vectors delivered over %u links\n",
-                (unsigned long long)net.totalFlits(),
-                unsigned(topo.links().size()));
+                (unsigned long long)result.flitsDelivered, result.links);
     session.finish();
     return 0;
 }
@@ -187,8 +158,7 @@ main(int argc, char **argv)
     cli.allowPrefix("--v=");
     if (!cli.parse(argc, argv))
         return 2;
-    if (opts.tracePath.empty() && !opts.metrics && !opts.digest &&
-        opts.reportPath.empty() && opts.journalPath.empty()) {
+    if (!opts.instrumented()) {
         benchmark::Initialize(&argc, argv);
         if (benchmark::ReportUnrecognizedArguments(argc, argv))
             return 1;

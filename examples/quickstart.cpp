@@ -55,11 +55,9 @@ main(int argc, char **argv)
     //    routed". Large tensors spread over non-minimal paths.
     SsnScheduler scheduler(topo);
     const NetworkSchedule schedule = scheduler.schedule({transfer});
-    if (ProfileCollector *prof = session.profile()) {
-        prof->setBench("quickstart");
-        prof->setSeed(42);
+    session.setRun("quickstart", 42);
+    if (ProfileCollector *prof = session.profile())
         prof->setSchedule(schedule, topo, {transfer});
-    }
     traceSchedule(eq.tracer(), schedule);
     const auto &flow = schedule.flows.at(1);
     std::printf("scheduled %u vectors over %u paths; "

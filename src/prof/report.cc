@@ -7,6 +7,7 @@
 
 #include "common/format.hh"
 #include "common/table.hh"
+#include "telemetry/phase.hh"
 
 namespace tsm {
 
@@ -59,6 +60,12 @@ void
 ProfileCollector::addExtra(const std::string &key, double value)
 {
     extras_.emplace_back(key, value);
+}
+
+void
+ProfileCollector::setPhases(Json phases)
+{
+    phases_ = std::move(phases);
 }
 
 Json
@@ -267,6 +274,9 @@ ProfileCollector::report() const
         root.set("ssn", std::move(ssn));
     }
 
+    if (phases_)
+        root.set("phases", *phases_);
+
     if (!extras_.empty()) {
         Json extra = Json::object();
         for (const auto &[key, value] : extras_)
@@ -397,6 +407,10 @@ renderProfileSummary(const Json &report, unsigned top_k)
             out += t.ascii();
         }
     }
+
+    const Json &phases = report["phases"];
+    if (!phases.isNull() && phases.size() > 0)
+        out += "\n" + renderPhaseTable(phases);
 
     const Json &hac = report["hac"];
     if (!hac.isNull() && hac["adjustments"].integer() > 0) {

@@ -55,6 +55,14 @@ class ProfileCollector
     /** Extra scalar fields for the report's "extra" object. */
     void addExtra(const std::string &key, double value);
 
+    /**
+     * Attach the bottleneck-phase segmentation produced by the
+     * timeline sampler (telemetry/phase.hh phasesJson); enables the
+     * report's "phases" section. Passed as a prebuilt JSON array: the
+     * collector does not need a TimelineSampler to serialize it.
+     */
+    void setPhases(Json phases);
+
     const std::optional<SsnAnalysis> &analysis() const { return analysis_; }
 
     /**
@@ -70,6 +78,7 @@ class ProfileCollector
     std::uint64_t seed_ = 0;
     bool hasSeed_ = false;
     std::vector<std::pair<std::string, double>> extras_;
+    std::optional<Json> phases_;
 };
 
 /**

@@ -1,0 +1,55 @@
+#include "runtime/traced_scenario.hh"
+
+#include <memory>
+#include <utility>
+
+#include "arch/chip.hh"
+#include "net/network.hh"
+#include "prof/report.hh"
+#include "ssn/schedule_trace.hh"
+
+namespace tsm {
+
+TracedScenarioResult
+runScheduledScenario(TraceSession &session, const Topology &topo,
+                     const std::vector<TensorTransfer> &transfers,
+                     const std::string &bench, std::uint64_t seed,
+                     double mbe)
+{
+    TracedScenarioResult result;
+
+    SsnScheduler scheduler(topo);
+    result.schedule = scheduler.schedule(transfers);
+    session.setRun(bench, seed);
+    if (ProfileCollector *prof = session.profile())
+        prof->setSchedule(result.schedule, topo, transfers);
+
+    EventQueue eq;
+    session.attach(eq.tracer());
+    traceSchedule(eq.tracer(), result.schedule);
+
+    Network net(topo, eq, Rng(seed));
+    if (mbe > 0.0) {
+        ErrorModel errors;
+        errors.mbePerVector = mbe;
+        net.setErrorModel(errors);
+    }
+    std::vector<std::unique_ptr<TspChip>> chips;
+    for (TspId t = 0; t < topo.numTsps(); ++t)
+        chips.push_back(std::make_unique<TspChip>(t, net, DriftClock()));
+    auto programs = buildPrograms(result.schedule, topo);
+    for (TspId t = 0; t < topo.numTsps(); ++t) {
+        chips[t]->setStream(0, makeVec(Vec(1.0f)));
+        programs.byChip[t].emitHalt();
+        chips[t]->load(std::move(programs.byChip[t]));
+        chips[t]->start(0);
+    }
+    eq.run();
+    session.detach();
+
+    result.flitsDelivered = net.totalFlits();
+    result.links = unsigned(topo.links().size());
+    return result;
+}
+
+} // namespace tsm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * One-call instrumented execution of a scheduled transfer set.
+ *
+ * Every instrumented bench harness repeats the same block: schedule
+ * the transfers with the SSN scheduler, stamp run identity on the
+ * TraceSession's collectors, replay the schedule onto the tracer,
+ * build a network + chips, lower the schedule to per-chip programs,
+ * and drive the event queue to completion. `runScheduledScenario`
+ * centralizes that block so a bench adds tracing with ~6 lines: build
+ * a representative `TensorTransfer` set and call it.
+ */
+
+#ifndef TSM_RUNTIME_TRACED_SCENARIO_HH
+#define TSM_RUNTIME_TRACED_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.hh"
+#include "ssn/scheduler.hh"
+#include "trace/session.hh"
+
+namespace tsm {
+
+/** What one traced execution produced. */
+struct TracedScenarioResult
+{
+    /** The SSN schedule the run executed. */
+    NetworkSchedule schedule;
+
+    /** Data flits delivered across all links. */
+    std::uint64_t flitsDelivered = 0;
+
+    /** Links in the topology the run used. */
+    unsigned links = 0;
+};
+
+/**
+ * Schedule `transfers` on `topo`, execute them on freshly built chips
+ * with the session's sinks attached, and return the outcome. Stamps
+ * `bench`/`seed` on the session's collectors and attaches the
+ * schedule analysis to the profile collector when one is active.
+ * `mbe` > 0 injects FEC multi-bit errors at that per-vector rate
+ * (corrupting payloads without perturbing timing).
+ */
+TracedScenarioResult
+runScheduledScenario(TraceSession &session, const Topology &topo,
+                     const std::vector<TensorTransfer> &transfers,
+                     const std::string &bench, std::uint64_t seed,
+                     double mbe = 0.0);
+
+} // namespace tsm
+
+#endif // TSM_RUNTIME_TRACED_SCENARIO_HH

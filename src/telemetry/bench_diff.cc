@@ -1,0 +1,224 @@
+#include "telemetry/bench_diff.hh"
+
+#include <cmath>
+
+#include "common/format.hh"
+#include "common/table.hh"
+
+namespace tsm {
+
+const char *
+metricVerdictName(MetricVerdict v)
+{
+    switch (v) {
+      case MetricVerdict::Ok:
+        return "ok";
+      case MetricVerdict::Improved:
+        return "improved";
+      case MetricVerdict::Regressed:
+        return "REGRESSED";
+      case MetricVerdict::Info:
+        return "info";
+    }
+    return "?";
+}
+
+std::size_t
+DiffResult::count(MetricVerdict v) const
+{
+    std::size_t n = 0;
+    for (const MetricDelta &m : metrics)
+        if (m.verdict == v)
+            ++n;
+    return n;
+}
+
+namespace {
+
+/** Walk a dotted path ("throughput.flits") into a document. */
+const Json &
+lookup(const Json &doc, const std::string &path)
+{
+    const Json *at = &doc;
+    std::size_t start = 0;
+    while (start <= path.size()) {
+        const std::size_t dot = path.find('.', start);
+        const std::string key =
+            path.substr(start, dot == std::string::npos ? std::string::npos
+                                                        : dot - start);
+        at = &(*at)[key];
+        if (dot == std::string::npos)
+            break;
+        start = dot + 1;
+    }
+    return *at;
+}
+
+void
+compareMetric(DiffResult &out, const std::string &name, double base,
+              double next, MetricDirection dir, double tol)
+{
+    MetricDelta m;
+    m.name = name;
+    m.base = base;
+    m.next = next;
+    m.direction = dir;
+    if (base != 0.0) {
+        m.rel = (next - base) / std::fabs(base);
+    } else {
+        m.rel = next == 0.0 ? 0.0 : (next > 0 ? 1.0 : -1.0);
+    }
+
+    if (dir == MetricDirection::Info) {
+        m.verdict = MetricVerdict::Info;
+    } else {
+        const bool worse =
+            (dir == MetricDirection::LowerIsBetter && m.rel > tol) ||
+            (dir == MetricDirection::HigherIsBetter && m.rel < -tol) ||
+            (dir == MetricDirection::Stable && std::fabs(m.rel) > tol);
+        const bool better =
+            (dir == MetricDirection::LowerIsBetter && m.rel < -tol) ||
+            (dir == MetricDirection::HigherIsBetter && m.rel > tol);
+        m.verdict = worse     ? MetricVerdict::Regressed
+                    : better  ? MetricVerdict::Improved
+                              : MetricVerdict::Ok;
+    }
+    if (m.verdict == MetricVerdict::Regressed)
+        out.regressed = true;
+    out.metrics.push_back(std::move(m));
+}
+
+/** Compare `path` in both documents if present in both. */
+void
+comparePath(DiffResult &out, const Json &base, const Json &next,
+            const std::string &path, MetricDirection dir, double tol)
+{
+    const Json &b = lookup(base, path);
+    const Json &n = lookup(next, path);
+    if (!b.isNumber() || !n.isNumber())
+        return;
+    compareMetric(out, path, b.number(), n.number(), dir, tol);
+}
+
+double
+meanOver(const Json &array, const char *key)
+{
+    if (array.isNull() || array.size() == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (const Json &item : array.items())
+        sum += item[key].number();
+    return sum / double(array.size());
+}
+
+void
+diffProfile(DiffResult &out, const Json &base, const Json &next,
+            double tol)
+{
+    comparePath(out, base, next, "cycles",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "sim.events", MetricDirection::Stable,
+                tol);
+    comparePath(out, base, next, "throughput.flits",
+                MetricDirection::Stable, tol);
+    comparePath(out, base, next, "throughput.gbytes_per_sec",
+                MetricDirection::HigherIsBetter, tol);
+    comparePath(out, base, next, "queue_delay_ps.p50",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "queue_delay_ps.p99",
+                MetricDirection::LowerIsBetter, tol);
+    if (!base["chips"].isNull() && !next["chips"].isNull()) {
+        compareMetric(out, "chips.mean_busy_frac",
+                      meanOver(base["chips"], "busy_frac"),
+                      meanOver(next["chips"], "busy_frac"),
+                      MetricDirection::HigherIsBetter, tol);
+        compareMetric(out, "chips.mean_stall_frac",
+                      meanOver(base["chips"], "stall_frac"),
+                      meanOver(next["chips"], "stall_frac"),
+                      MetricDirection::LowerIsBetter, tol);
+    }
+    comparePath(out, base, next, "transfers_summary.closed",
+                MetricDirection::Stable, tol);
+    comparePath(out, base, next, "ssn.predicted_completion_cycles",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "ssn.gap_cycles", MetricDirection::Info,
+                tol);
+    comparePath(out, base, next, "hac.adjustments", MetricDirection::Info,
+                tol);
+}
+
+void
+diffTimeline(DiffResult &out, const Json &base, const Json &next,
+             double tol)
+{
+    comparePath(out, base, next, "span_cycles",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "windows",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "events", MetricDirection::Stable, tol);
+    auto totalFlits = [](const Json &doc) {
+        double flits = 0.0;
+        for (const Json &l : doc["links"].items())
+            flits += l["flits"].number();
+        return flits;
+    };
+    if (!base["links"].isNull() && !next["links"].isNull())
+        compareMetric(out, "links.total_flits", totalFlits(base),
+                      totalFlits(next), MetricDirection::Stable, tol);
+    if (!base["phases"].isNull() && !next["phases"].isNull())
+        compareMetric(out, "phases", double(base["phases"].size()),
+                      double(next["phases"].size()), MetricDirection::Info,
+                      tol);
+}
+
+} // namespace
+
+DiffResult
+diffReports(const Json &base, const Json &next, double tol)
+{
+    DiffResult out;
+    out.tolerance = tol;
+    const std::string baseSchema =
+        base["schema"].isNull() ? "" : base["schema"].str();
+    const std::string nextSchema =
+        next["schema"].isNull() ? "" : next["schema"].str();
+    if (baseSchema.empty() || baseSchema != nextSchema) {
+        out.regressed = true;
+        return out;
+    }
+    if (baseSchema == "tsm-timeline-v1")
+        diffTimeline(out, base, next, tol);
+    else
+        diffProfile(out, base, next, tol);
+    return out;
+}
+
+std::string
+renderDiff(const DiffResult &diff)
+{
+    std::string out;
+    Table t({"metric", "base", "new", "delta", "verdict"});
+    for (const MetricDelta &m : diff.metrics) {
+        t.addRow({m.name, Table::num(m.base, 2), Table::num(m.next, 2),
+                  format("{}{}%", m.rel > 0 ? "+" : "",
+                         Table::num(m.rel * 100.0, 2)),
+                  metricVerdictName(m.verdict)});
+    }
+    out += t.ascii();
+    const std::size_t regressions = diff.count(MetricVerdict::Regressed);
+    if (diff.metrics.empty()) {
+        out += "no comparable metrics (schema mismatch or empty "
+               "documents)\n";
+    } else if (regressions > 0) {
+        out += format("REGRESSION: {} metric(s) beyond {}% tolerance\n",
+                      std::uint64_t(regressions),
+                      Table::num(diff.tolerance * 100.0, 1));
+    } else {
+        out += format("ok: {} metrics within {}% tolerance\n",
+                      std::uint64_t(diff.metrics.size()),
+                      Table::num(diff.tolerance * 100.0, 1));
+    }
+    return out;
+}
+
+} // namespace tsm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cross-run bench comparison: the regression-gate core behind
+ * tools/tsm_bench_diff.
+ *
+ * Compares two `tsm-profile-v1` reports (or two `tsm-timeline-v1`
+ * documents) metric by metric against a relative tolerance. Each
+ * metric carries a *direction* — for `cycles` bigger is worse, for
+ * `gbytes_per_sec` smaller is worse, for `flits` any drift beyond
+ * tolerance means the run measured different work — and a comparison
+ * either passes, regresses, improves, or is informational. One
+ * regressed metric makes the whole diff a regression (tsm_bench_diff
+ * exits 1), which is what lets CI pin the checked-in BENCH_*.json
+ * baselines: the bench trajectory becomes a gate instead of a log.
+ */
+
+#ifndef TSM_TELEMETRY_BENCH_DIFF_HH
+#define TSM_TELEMETRY_BENCH_DIFF_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace tsm {
+
+/** What counts as a regression for one metric. */
+enum class MetricDirection : std::uint8_t
+{
+    LowerIsBetter,  ///< regression when the new value grows past tol
+    HigherIsBetter, ///< regression when the new value shrinks past tol
+    Stable,         ///< regression when it moves either way past tol
+    Info,           ///< reported, never gates
+};
+
+/** Outcome of one metric comparison. */
+enum class MetricVerdict : std::uint8_t
+{
+    Ok,        ///< within tolerance
+    Improved,  ///< beyond tolerance in the good direction
+    Regressed, ///< beyond tolerance in the bad direction
+    Info,      ///< informational metric, no verdict
+};
+
+const char *metricVerdictName(MetricVerdict v);
+
+/** One compared metric. */
+struct MetricDelta
+{
+    std::string name;
+    double base = 0.0;
+    double next = 0.0;
+
+    /** Relative change (next-base)/|base|; +-1 when base is zero. */
+    double rel = 0.0;
+
+    MetricDirection direction = MetricDirection::Info;
+    MetricVerdict verdict = MetricVerdict::Info;
+};
+
+/** The full comparison. */
+struct DiffResult
+{
+    std::vector<MetricDelta> metrics;
+    double tolerance = 0.0;
+    bool regressed = false;
+
+    /** Count of metrics with the given verdict. */
+    std::size_t count(MetricVerdict v) const;
+};
+
+/**
+ * Compare two documents of the same schema ("tsm-profile-v1" or
+ * "tsm-timeline-v1") with relative tolerance `tol`. Metrics missing
+ * from either document are skipped; a schema mismatch yields an empty
+ * result with `regressed` set.
+ */
+DiffResult diffReports(const Json &base, const Json &next, double tol);
+
+/** Human-readable table + verdict footer. */
+std::string renderDiff(const DiffResult &diff);
+
+} // namespace tsm
+
+#endif // TSM_TELEMETRY_BENCH_DIFF_HH

@@ -1,0 +1,251 @@
+#include "telemetry/phase.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "common/format.hh"
+#include "common/table.hh"
+
+namespace tsm {
+
+const char *
+regimeName(Regime r)
+{
+    switch (r) {
+      case Regime::Idle:
+        return "idle";
+      case Regime::Compute:
+        return "compute";
+      case Regime::Network:
+        return "network";
+      case Regime::Sync:
+        return "sync";
+    }
+    return "?";
+}
+
+char
+regimeChar(Regime r)
+{
+    switch (r) {
+      case Regime::Idle:
+        return '.';
+      case Regime::Compute:
+        return 'C';
+      case Regime::Network:
+        return 'N';
+      case Regime::Sync:
+        return 'S';
+    }
+    return '?';
+}
+
+namespace {
+
+Regime
+classify(double busyFrac, double stallFrac, double netUtil,
+         std::uint64_t flits, std::uint64_t hacAdj)
+{
+    if (stallFrac >= busyFrac && stallFrac >= netUtil && stallFrac > 0)
+        return Regime::Sync;
+    if (netUtil >= busyFrac && netUtil > 0)
+        return Regime::Network;
+    if (busyFrac > 0)
+        return Regime::Compute;
+    // Nothing charged as busy or stalled and no link busy time: fall
+    // back on raw traffic. Flits without measurable utilization still
+    // mean the network moved data; HAC adjustments alone mean the
+    // window was spent keeping clocks aligned. A window that is all
+    // idle cycles (a pipeline bubble) is exactly that — idle.
+    if (flits > 0)
+        return Regime::Network;
+    if (hacAdj > 0)
+        return Regime::Sync;
+    return Regime::Idle;
+}
+
+} // namespace
+
+PhaseAnalysis
+analyzePhases(const TimelineSampler &sampler)
+{
+    PhaseAnalysis out;
+    const std::uint64_t windows = sampler.numWindows();
+    if (windows == 0)
+        return out;
+
+    const double windowPs =
+        double(sampler.windowCycles()) * kCorePeriodPs;
+
+    // Dense per-window aggregates from the sparse per-entity maps.
+    std::vector<std::array<Cycle, kNumFuncUnits>> fuBusy(
+        windows, std::array<Cycle, kNumFuncUnits>{});
+    std::vector<Cycle> stall(windows, 0), idle(windows, 0);
+    std::vector<std::uint64_t> flits(windows, 0), hacAdj(windows, 0);
+    // Hottest link per window: track (busyPs, linkId) max; ties break
+    // toward the lower link id because maps iterate ascending.
+    std::vector<Tick> hotLinkBusy(windows, 0);
+    std::vector<std::int64_t> hotLink(windows, -1);
+
+    for (const auto &[chip, ws] : sampler.chips())
+        for (const auto &[w, cw] : ws) {
+            for (unsigned u = 0; u < kNumFuncUnits; ++u)
+                fuBusy[w][u] += cw.busy[u];
+            stall[w] += cw.stall;
+            idle[w] += cw.idle;
+        }
+    for (const auto &[link, ws] : sampler.links())
+        for (const auto &[w, lw] : ws) {
+            flits[w] += lw.flits;
+            if (lw.busyPs > hotLinkBusy[w]) {
+                hotLinkBusy[w] = lw.busyPs;
+                hotLink[w] = std::int64_t(link);
+            }
+        }
+    for (const auto &[w, hw] : sampler.hac())
+        hacAdj[w] += hw.adjustments;
+
+    out.labels.reserve(windows);
+    for (std::uint64_t w = 0; w < windows; ++w) {
+        WindowLabel label;
+        label.window = w;
+        Cycle busyTotal = 0;
+        Cycle hotFuBusy = 0;
+        for (unsigned u = 0; u < kNumFuncUnits; ++u) {
+            busyTotal += fuBusy[w][u];
+            if (fuBusy[w][u] > hotFuBusy) {
+                hotFuBusy = fuBusy[w][u];
+                label.hotFu = std::int64_t(u);
+            }
+        }
+        const Cycle charged = busyTotal + stall[w] + idle[w];
+        label.busyFrac =
+            charged > 0 ? double(busyTotal) / double(charged) : 0.0;
+        label.stallFrac =
+            charged > 0 ? double(stall[w]) / double(charged) : 0.0;
+        label.netUtil =
+            windowPs > 0 ? double(hotLinkBusy[w]) / windowPs : 0.0;
+        label.hotLink = hotLink[w];
+        label.regime = classify(label.busyFrac, label.stallFrac,
+                                label.netUtil, flits[w], hacAdj[w]);
+        out.labels.push_back(label);
+    }
+
+    // Merge consecutive same-regime windows into phases; aggregate
+    // hottest link/FU over the whole phase rather than voting, so a
+    // phase names the entity that did the most total work in it.
+    std::uint64_t start = 0;
+    while (start < windows) {
+        std::uint64_t end = start;
+        while (end + 1 < windows &&
+               out.labels[end + 1].regime == out.labels[start].regime)
+            ++end;
+
+        PhaseSummary ph;
+        ph.firstWindow = start;
+        ph.lastWindow = end;
+        ph.regime = out.labels[start].regime;
+
+        std::array<Cycle, kNumFuncUnits> fuTotal{};
+        std::map<std::int64_t, Tick> linkTotal;
+        for (std::uint64_t w = start; w <= end; ++w) {
+            ph.busyFrac += out.labels[w].busyFrac;
+            ph.stallFrac += out.labels[w].stallFrac;
+            ph.netUtil += out.labels[w].netUtil;
+            ph.flits += flits[w];
+            for (unsigned u = 0; u < kNumFuncUnits; ++u)
+                fuTotal[u] += fuBusy[w][u];
+            if (hotLink[w] >= 0)
+                linkTotal[hotLink[w]] += hotLinkBusy[w];
+        }
+        const double n = double(end - start + 1);
+        ph.busyFrac /= n;
+        ph.stallFrac /= n;
+        ph.netUtil /= n;
+        Cycle best = 0;
+        for (unsigned u = 0; u < kNumFuncUnits; ++u)
+            if (fuTotal[u] > best) {
+                best = fuTotal[u];
+                ph.hotFu = std::int64_t(u);
+            }
+        Tick bestLink = 0;
+        for (const auto &[link, busy] : linkTotal)
+            if (busy > bestLink) {
+                bestLink = busy;
+                ph.hotLink = link;
+            }
+        out.phases.push_back(ph);
+        start = end + 1;
+    }
+    return out;
+}
+
+Json
+windowLabelsJson(const PhaseAnalysis &analysis)
+{
+    Json labels = Json::array();
+    for (const WindowLabel &l : analysis.labels) {
+        Json j = Json::object();
+        j.set("w", l.window);
+        j.set("regime", regimeName(l.regime));
+        j.set("busy_frac", l.busyFrac);
+        j.set("stall_frac", l.stallFrac);
+        j.set("net_util", l.netUtil);
+        j.set("hot_link", l.hotLink);
+        j.set("hot_fu", l.hotFu < 0
+                            ? Json("-")
+                            : Json(funcUnitName(FuncUnit(l.hotFu))));
+        labels.push(std::move(j));
+    }
+    return labels;
+}
+
+Json
+phasesJson(const PhaseAnalysis &analysis)
+{
+    Json phases = Json::array();
+    for (const PhaseSummary &ph : analysis.phases) {
+        Json j = Json::object();
+        j.set("first_w", ph.firstWindow);
+        j.set("last_w", ph.lastWindow);
+        j.set("windows", ph.windows());
+        j.set("regime", regimeName(ph.regime));
+        j.set("busy_frac", ph.busyFrac);
+        j.set("stall_frac", ph.stallFrac);
+        j.set("net_util", ph.netUtil);
+        j.set("hot_link", ph.hotLink);
+        j.set("hot_fu", ph.hotFu < 0
+                            ? Json("-")
+                            : Json(funcUnitName(FuncUnit(ph.hotFu))));
+        j.set("flits", ph.flits);
+        phases.push(std::move(j));
+    }
+    return phases;
+}
+
+std::string
+renderPhaseTable(const Json &phases)
+{
+    if (phases.isNull() || phases.size() == 0)
+        return "";
+    std::string out = "bottleneck phases:\n";
+    Table t({"windows", "regime", "hot link", "hot FU", "busy", "stall",
+             "net util", "flits"});
+    for (const Json &ph : phases.items()) {
+        const std::int64_t hotLink = ph["hot_link"].integer();
+        t.addRow({format("{}..{}", ph["first_w"].integer(),
+                         ph["last_w"].integer()),
+                  ph["regime"].str(),
+                  hotLink < 0 ? std::string("-") : Table::num(hotLink),
+                  ph["hot_fu"].str(),
+                  Table::num(ph["busy_frac"].number() * 100, 1) + "%",
+                  Table::num(ph["stall_frac"].number() * 100, 1) + "%",
+                  Table::num(ph["net_util"].number() * 100, 1) + "%",
+                  Table::num(ph["flits"].integer())});
+    }
+    out += t.ascii();
+    return out;
+}
+
+} // namespace tsm

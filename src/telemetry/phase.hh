@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bottleneck-phase analysis over a sampled timeline.
+ *
+ * Given the windowed accounts of a TimelineSampler, label every
+ * window with its dominant regime — compute-, network- or sync-bound,
+ * or idle — naming the hottest functional unit and link, and merge
+ * consecutive same-regime windows into *phases* with per-phase
+ * summaries. This is the time-domain complement of the whole-run
+ * attribution in prof/profiler.hh: "the run was 40% network-bound"
+ * becomes "windows 12..31 were network-bound on link 5".
+ *
+ * The labeling rule is deterministic and intentionally simple:
+ *
+ *   busyFrac  = FU-busy cycles / charged cycles in the window
+ *   stallFrac = stall cycles   / charged cycles in the window
+ *   netUtil   = max over links of serialization busy / window width
+ *
+ *   no activity at all              -> Idle
+ *   stallFrac >= busyFrac, netUtil  -> Sync     (deskew / poll waits)
+ *   netUtil   >= busyFrac           -> Network
+ *   otherwise                       -> Compute
+ *
+ * Ties break toward the later rule's predecessor (Sync over Network
+ * over Compute), matching the paper's view that synchronization and
+ * the network are the scarce resources worth surfacing first.
+ */
+
+#ifndef TSM_TELEMETRY_PHASE_HH
+#define TSM_TELEMETRY_PHASE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "telemetry/timeline.hh"
+
+namespace tsm {
+
+/** Dominant regime of one window or phase. */
+enum class Regime : std::uint8_t
+{
+    Idle,
+    Compute,
+    Network,
+    Sync,
+};
+
+inline constexpr unsigned kNumRegimes = 4;
+
+/** Lowercase regime name ("compute", "network", ...). */
+const char *regimeName(Regime r);
+
+/** One-character regime tag for the tsm_top phase ribbon. */
+char regimeChar(Regime r);
+
+/** Per-window regime label. */
+struct WindowLabel
+{
+    std::uint64_t window = 0;
+    Regime regime = Regime::Idle;
+
+    double busyFrac = 0.0;
+    double stallFrac = 0.0;
+    double netUtil = 0.0;
+
+    /** Hottest link (most serialization busy), -1 when none. */
+    std::int64_t hotLink = -1;
+
+    /** Hottest functional unit (most busy cycles), -1 when none. */
+    std::int64_t hotFu = -1;
+};
+
+/** A run of consecutive same-regime windows. */
+struct PhaseSummary
+{
+    std::uint64_t firstWindow = 0;
+    std::uint64_t lastWindow = 0;
+    Regime regime = Regime::Idle;
+
+    /** Means over the phase's windows. */
+    double busyFrac = 0.0;
+    double stallFrac = 0.0;
+    double netUtil = 0.0;
+
+    /** Hottest link/FU aggregated over the whole phase (-1 = none). */
+    std::int64_t hotLink = -1;
+    std::int64_t hotFu = -1;
+
+    /** Data flits carried during the phase. */
+    std::uint64_t flits = 0;
+
+    std::uint64_t windows() const { return lastWindow - firstWindow + 1; }
+};
+
+/** The full analysis: one label per window, phases in window order. */
+struct PhaseAnalysis
+{
+    std::vector<WindowLabel> labels;
+    std::vector<PhaseSummary> phases;
+};
+
+/** Label every window of `sampler` and segment the run into phases. */
+PhaseAnalysis analyzePhases(const TimelineSampler &sampler);
+
+/** Serialize the per-window labels as a JSON array. */
+Json windowLabelsJson(const PhaseAnalysis &analysis);
+
+/**
+ * Serialize the phase segments as a JSON array — the "phases" section
+ * embedded both in `tsm-timeline-v1` documents and (via
+ * ProfileCollector::setPhases) in `tsm-profile-v1` reports.
+ */
+Json phasesJson(const PhaseAnalysis &analysis);
+
+/** Render the phase table as human-readable text. */
+std::string renderPhaseTable(const Json &phases);
+
+} // namespace tsm
+
+#endif // TSM_TELEMETRY_PHASE_HH

@@ -1,0 +1,198 @@
+#include "telemetry/render.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "common/format.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "telemetry/phase.hh"
+
+namespace tsm {
+
+char
+shadeChar(double util)
+{
+    if (util <= 0.0)
+        return kShadeRamp[0];
+    const std::size_t steps = std::strlen(kShadeRamp);
+    std::size_t idx = std::size_t(util * double(steps));
+    idx = std::min(idx, steps - 1);
+    return kShadeRamp[idx];
+}
+
+namespace {
+
+/** Buckets window indices into at most `cols` equal columns. */
+struct ColumnMap
+{
+    std::uint64_t windows;
+    unsigned cols;
+
+    unsigned
+    columnOf(std::uint64_t w) const
+    {
+        return unsigned(w * cols / windows);
+    }
+};
+
+/** One heatmap row: per-column max utilization. */
+struct Row
+{
+    std::string label;
+    double total = 0.0; ///< sort key (descending)
+    std::vector<double> cells;
+};
+
+std::string
+heatmap(const std::string &title, std::vector<Row> rows, unsigned maxRows,
+        unsigned cols)
+{
+    if (rows.empty())
+        return "";
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         return a.total > b.total;
+                     });
+    const std::size_t shown = std::min<std::size_t>(rows.size(), maxRows);
+    std::string out =
+        format("{} ({} of {} shown):\n", title, std::uint64_t(shown),
+               std::uint64_t(rows.size()));
+    std::size_t width = 0;
+    for (std::size_t r = 0; r < shown; ++r)
+        width = std::max(width, rows[r].label.size());
+    for (std::size_t r = 0; r < shown; ++r) {
+        const Row &row = rows[r];
+        out += row.label;
+        out += std::string(width - row.label.size(), ' ');
+        out += " |";
+        for (unsigned c = 0; c < cols; ++c)
+            out += shadeChar(c < row.cells.size() ? row.cells[c] : 0.0);
+        out += "|\n";
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderTimelineTop(const Json &timeline, const TopOptions &opts)
+{
+    const std::string bench =
+        timeline["bench"].isNull() ? "?" : timeline["bench"].str();
+    const std::uint64_t windows =
+        std::uint64_t(timeline["windows"].integer());
+    std::string out = format("== tsm timeline: {} ==\n", bench);
+    if (timeline.has("seed"))
+        out += format("seed: {}\n", timeline["seed"].integer());
+    out += format("{} windows x {} cycles ({} cycles spanned, {} "
+                  "events)\n",
+                  windows, timeline["window_cycles"].integer(),
+                  timeline["span_cycles"].integer(),
+                  timeline["events"].integer());
+    if (windows == 0) {
+        out += "empty timeline: no windowed activity recorded\n";
+        return out;
+    }
+
+    const ColumnMap cm{windows,
+                       unsigned(std::min<std::uint64_t>(
+                           windows, std::max(1u, opts.cols)))};
+    const double windowPs = timeline["window_ps"].number();
+
+    // Column scale line: which window each edge column covers.
+    out += format("columns: {} windows/col, window 0 at left, window {} "
+                  "at right\n\n",
+                  (windows + cm.cols - 1) / cm.cols, windows - 1);
+
+    {
+        std::vector<Row> rows;
+        for (const Json &link : timeline["links"].items()) {
+            Row row;
+            row.label = format("link {}", link["id"].integer());
+            row.cells.assign(cm.cols, 0.0);
+            for (const Json &w : link["windows"].items()) {
+                const unsigned c =
+                    cm.columnOf(std::uint64_t(w["w"].integer()));
+                row.cells[c] =
+                    std::max(row.cells[c], w["util"].number());
+                row.total += w["busy_ps"].number();
+            }
+            rows.push_back(std::move(row));
+        }
+        out += heatmap("link utilization", std::move(rows), opts.maxLinks,
+                       cm.cols);
+    }
+
+    {
+        std::vector<Row> rows;
+        for (const Json &chip : timeline["chips"].items()) {
+            Row row;
+            row.label = format("tsp {}", chip["id"].integer());
+            row.cells.assign(cm.cols, 0.0);
+            const double windowCycles =
+                double(timeline["window_cycles"].integer());
+            for (const Json &w : chip["windows"].items()) {
+                double busy = 0.0;
+                for (const auto &[fu, cycles] : w["busy"].members())
+                    busy += cycles.number();
+                const unsigned c =
+                    cm.columnOf(std::uint64_t(w["w"].integer()));
+                row.cells[c] = std::max(
+                    row.cells[c],
+                    windowCycles > 0 ? busy / windowCycles : 0.0);
+                row.total += busy;
+            }
+            rows.push_back(std::move(row));
+        }
+        if (!rows.empty())
+            out += "\n" + heatmap("chip FU occupancy", std::move(rows),
+                                  opts.maxChips, cm.cols);
+    }
+
+    const Json &labels = timeline["labels"];
+    if (!labels.isNull() && labels.size() > 0) {
+        // Phase ribbon: each column shows the regime that covers the
+        // most of its windows (ties break toward the regime seen
+        // first, i.e. the earlier window).
+        std::vector<std::map<std::string, unsigned>> votes(cm.cols);
+        std::vector<std::string> first(cm.cols);
+        for (const Json &l : labels.items()) {
+            const unsigned c = cm.columnOf(std::uint64_t(l["w"].integer()));
+            const std::string &regime = l["regime"].str();
+            ++votes[c][regime];
+            if (first[c].empty())
+                first[c] = regime;
+        }
+        out += "\nphase ribbon (C compute, N network, S sync, . idle):\n";
+        const std::size_t pad = std::strlen("link ") + 1;
+        out += std::string(pad, ' ') + "|";
+        for (unsigned c = 0; c < cm.cols; ++c) {
+            std::string best = first[c];
+            unsigned bestVotes = best.empty() ? 0 : votes[c][best];
+            for (const auto &[regime, n] : votes[c])
+                if (n > bestVotes) {
+                    best = regime;
+                    bestVotes = n;
+                }
+            char ch = '.';
+            for (unsigned r = 0; r < kNumRegimes; ++r)
+                if (best == regimeName(Regime(r)))
+                    ch = regimeChar(Regime(r));
+            out += ch;
+        }
+        out += "|\n";
+    }
+
+    const Json &phases = timeline["phases"];
+    if (!phases.isNull() && phases.size() > 0) {
+        out += "\n" + renderPhaseTable(phases);
+        out += format("one window = {} us of simulated time\n",
+                      Table::num(windowPs / double(kPsPerUs), 3));
+    }
+    return out;
+}
+
+} // namespace tsm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASCII rendering of a sampled timeline: the core of tools/tsm_top.
+ *
+ * From a `tsm-timeline-v1` document, draws
+ *
+ *  - a links x windows utilization heatmap (top links by traffic),
+ *  - a chips x windows issue-slot occupancy heatmap,
+ *  - the bottleneck-phase ribbon (one regime character per column)
+ *    with the per-phase summary table,
+ *
+ * all downsampled to a fixed column budget, so a multi-second run
+ * still fits a terminal. Shading uses a ten-step ramp; each column
+ * shows the *maximum* utilization of the windows it covers, because a
+ * transient hotspot is exactly what the plot exists to surface.
+ */
+
+#ifndef TSM_TELEMETRY_RENDER_HH
+#define TSM_TELEMETRY_RENDER_HH
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace tsm {
+
+/** Layout knobs for renderTimelineTop. */
+struct TopOptions
+{
+    /** Maximum heatmap columns (windows are bucketed to fit). */
+    unsigned cols = 64;
+
+    /** Links shown, busiest first. */
+    unsigned maxLinks = 12;
+
+    /** Chips shown, busiest first. */
+    unsigned maxChips = 12;
+};
+
+/** The ten-step utilization shading ramp, 0% to 100%. */
+inline constexpr const char *kShadeRamp = " .:-=+*#%@";
+
+/** Shade character for a utilization in [0, inf). */
+char shadeChar(double util);
+
+/**
+ * Render the heatmaps + phase ribbon for a `tsm-timeline-v1`
+ * document. Returns an explanatory line instead when the document
+ * holds no windows.
+ */
+std::string renderTimelineTop(const Json &timeline,
+                              const TopOptions &opts = {});
+
+} // namespace tsm
+
+#endif // TSM_TELEMETRY_RENDER_HH

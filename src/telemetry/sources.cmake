@@ -1,0 +1,7 @@
+tsm_module(telemetry
+    timeline.cc
+    phase.cc
+    bench_diff.cc
+    render.cc
+    progress.cc
+)

@@ -1,9 +1,13 @@
 #include "trace/session.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "prof/report.hh"
+#include "telemetry/phase.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/timeline.hh"
 
 namespace tsm {
 
@@ -24,6 +28,13 @@ TraceOptions::fromArgs(int &argc, char **argv)
             opts.reportPath = arg + 9;
         } else if (std::strncmp(arg, "--journal=", 10) == 0) {
             opts.journalPath = arg + 10;
+        } else if (std::strncmp(arg, "--timeline=", 11) == 0) {
+            opts.timelinePath = arg + 11;
+        } else if (std::strncmp(arg, "--timeline-window=", 18) == 0) {
+            opts.timelineWindowCycles =
+                unsigned(std::strtoul(arg + 18, nullptr, 10));
+        } else if (std::strncmp(arg, "--progress=", 11) == 0) {
+            opts.progressMegacycles = std::strtod(arg + 11, nullptr);
         } else {
             argv[out++] = argv[i];
         }
@@ -44,6 +55,20 @@ TraceOptions::registerFlags(CliParser &parser)
                     "write a JSON profile report to FILE");
     parser.addValue("--journal", &journalPath,
                     "record the canonical event journal to FILE");
+    parser.addValue("--timeline", &timelinePath,
+                    "write the windowed tsm-timeline-v1 document to FILE");
+    parser.addValue("--timeline-window", &timelineWindowCycles,
+                    "timeline window width in cycles (default 1024)");
+    parser.addValue("--progress", &progressMegacycles,
+                    "stderr heartbeat every N simulated megacycles");
+}
+
+bool
+TraceOptions::instrumented() const
+{
+    return !tracePath.empty() || metrics || digest || !reportPath.empty() ||
+           !journalPath.empty() || !timelinePath.empty() ||
+           progressMegacycles > 0;
 }
 
 TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
@@ -58,6 +83,11 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
         journal_ = std::make_unique<JournalSink>(opts_.journalPath);
     if (!opts_.reportPath.empty())
         profile_ = std::make_unique<ProfileCollector>();
+    if (!opts_.timelinePath.empty())
+        timeline_ = std::make_unique<TimelineSampler>(
+            Cycle(opts_.timelineWindowCycles));
+    if (opts_.progressMegacycles > 0)
+        progress_ = std::make_unique<ProgressSink>(opts_.progressMegacycles);
 }
 
 TraceSession::~TraceSession()
@@ -68,7 +98,21 @@ TraceSession::~TraceSession()
 bool
 TraceSession::active() const
 {
-    return chrome_ || metricsSink_ || digestSink_ || journal_ || profile_;
+    return chrome_ || metricsSink_ || digestSink_ || journal_ ||
+           profile_ || timeline_ || progress_;
+}
+
+void
+TraceSession::setRun(const std::string &bench, std::uint64_t seed)
+{
+    if (profile_) {
+        profile_->setBench(bench);
+        profile_->setSeed(seed);
+    }
+    if (timeline_) {
+        timeline_->setBench(bench);
+        timeline_->setSeed(seed);
+    }
 }
 
 void
@@ -86,6 +130,10 @@ TraceSession::attach(Tracer &tracer)
         tracer.addSink(journal_.get());
     if (profile_)
         tracer.addSink(&profile_->sink());
+    if (timeline_)
+        tracer.addSink(timeline_.get());
+    if (progress_)
+        tracer.addSink(progress_.get());
 }
 
 void
@@ -103,6 +151,10 @@ TraceSession::detach()
         tracer_->removeSink(journal_.get());
     if (profile_)
         tracer_->removeSink(&profile_->sink());
+    if (timeline_)
+        tracer_->removeSink(timeline_.get());
+    if (progress_)
+        tracer_->removeSink(progress_.get());
     tracer_ = nullptr;
 }
 
@@ -145,6 +197,24 @@ TraceSession::finish()
         std::printf("journal: wrote %llu events to %s\n",
                     (unsigned long long)journal_->eventsWritten(),
                     opts_.journalPath.c_str());
+    }
+    if (progress_)
+        progress_->finish();
+    if (timeline_) {
+        timeline_->finish();
+        const PhaseAnalysis analysis = analyzePhases(*timeline_);
+        const Json doc = timeline_->report(&analysis);
+        std::string error;
+        if (writeProfileReport(opts_.timelinePath, doc, &error))
+            std::printf("timeline: wrote %llu windows to %s\n",
+                        (unsigned long long)timeline_->numWindows(),
+                        opts_.timelinePath.c_str());
+        else
+            std::fprintf(stderr, "timeline: %s\n", error.c_str());
+        // The bottleneck phases belong in the profile report too: the
+        // whole-run accounts say how much, the phases say when.
+        if (profile_)
+            profile_->setPhases(phasesJson(analysis));
     }
     if (profile_) {
         profile_->sink().finish();

@@ -10,6 +10,12 @@
  *                  print its human-readable summary at exit
  *   --journal=FILE record the canonical tsm-journal-v1 event journal
  *                  to FILE (compare two with tools/tsm_diverge)
+ *   --timeline=FILE sample the run into fixed-width cycle windows and
+ *                  write the tsm-timeline-v1 document to FILE (render
+ *                  with tools/tsm_top, gate with tools/tsm_bench_diff)
+ *   --timeline-window=N  window width in cycles (default 1024)
+ *   --progress=N   heartbeat: one status line to stderr every N
+ *                  simulated megacycles (fractional N allowed)
  *
  * A TraceSession owns the sinks the options imply and attaches them to
  * whichever Tracer the harness is currently driving. The tracer is
@@ -32,6 +38,8 @@
 namespace tsm {
 
 class ProfileCollector;
+class ProgressSink;
+class TimelineSampler;
 
 /** Parsed trace-related command-line options. */
 struct TraceOptions
@@ -51,6 +59,15 @@ struct TraceOptions
     /** Canonical event journal output path; empty = no journal. */
     std::string journalPath;
 
+    /** Windowed timeline output path; empty = no timeline sampling. */
+    std::string timelinePath;
+
+    /** Timeline window width in core cycles. */
+    unsigned timelineWindowCycles = 1024;
+
+    /** Heartbeat interval in simulated megacycles; 0 = no heartbeat. */
+    double progressMegacycles = 0.0;
+
     /**
      * Scan argv for the options above, removing every recognized
      * argument in place (argc is updated) so downstream parsers
@@ -62,6 +79,9 @@ struct TraceOptions
 
     /** Register the trace flags on a strict CliParser. */
     void registerFlags(CliParser &parser);
+
+    /** True if any flag above requests an instrumented run. */
+    bool instrumented() const;
 };
 
 /** The sinks one traced run needs, bundled and CLI-configurable. */
@@ -102,6 +122,17 @@ class TraceSession
      */
     ProfileCollector *profile() { return profile_.get(); }
 
+    /** The timeline sampler, or nullptr when --timeline is off. */
+    TimelineSampler *timeline() { return timeline_.get(); }
+
+    /**
+     * Stamp run identity (bench name, seed) on every attached
+     * collector — currently the profile collector and the timeline
+     * sampler. Harness-specific extras (schedule, extra scalars) still
+     * go through profile() directly.
+     */
+    void setRun(const std::string &bench, std::uint64_t seed);
+
     /**
      * Detach, close the trace file, print the requested metrics
      * table / digest / profile summary to stdout, and write the
@@ -116,6 +147,8 @@ class TraceSession
     std::unique_ptr<DigestSink> digestSink_;
     std::unique_ptr<JournalSink> journal_;
     std::unique_ptr<ProfileCollector> profile_;
+    std::unique_ptr<TimelineSampler> timeline_;
+    std::unique_ptr<ProgressSink> progress_;
     Tracer *tracer_ = nullptr;
     bool finished_ = false;
 };

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Bench-diff tests: direction semantics (lower/higher/stable/info),
+ * tolerance gating, zero baselines, schema mismatches, timeline
+ * documents, and the rendered verdict footer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/bench_diff.hh"
+
+namespace tsm {
+namespace {
+
+Json
+profileDoc(double cycles, double gbps, double events)
+{
+    Json doc = Json::object();
+    doc.set("schema", "tsm-profile-v1");
+    doc.set("cycles", cycles);
+    Json sim = Json::object();
+    sim.set("events", events);
+    doc.set("sim", std::move(sim));
+    Json tp = Json::object();
+    tp.set("flits", 173.0);
+    tp.set("gbytes_per_sec", gbps);
+    doc.set("throughput", std::move(tp));
+    Json hac = Json::object();
+    hac.set("adjustments", 0.0);
+    doc.set("hac", std::move(hac));
+    return doc;
+}
+
+const MetricDelta *
+find(const DiffResult &diff, const std::string &name)
+{
+    for (const MetricDelta &m : diff.metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+TEST(BenchDiff, SelfCompareIsClean)
+{
+    const Json doc = profileDoc(1000, 50, 1488);
+    const DiffResult diff = diffReports(doc, doc, 0.05);
+    EXPECT_FALSE(diff.regressed);
+    EXPECT_GT(diff.metrics.size(), 0u);
+    for (const MetricDelta &m : diff.metrics)
+        EXPECT_NE(m.verdict, MetricVerdict::Regressed) << m.name;
+    EXPECT_NE(renderDiff(diff).find("ok:"), std::string::npos);
+}
+
+TEST(BenchDiff, LowerIsBetterGatesOnGrowth)
+{
+    const Json base = profileDoc(1000, 50, 1488);
+    const DiffResult slow =
+        diffReports(base, profileDoc(1200, 50, 1488), 0.05);
+    EXPECT_TRUE(slow.regressed);
+    const MetricDelta *m = find(slow, "cycles");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->verdict, MetricVerdict::Regressed);
+    EXPECT_NEAR(m->rel, 0.2, 1e-9);
+    EXPECT_NE(renderDiff(slow).find("REGRESSION"), std::string::npos);
+
+    // Shrinkage is an improvement, never a regression.
+    const DiffResult fast =
+        diffReports(base, profileDoc(800, 50, 1488), 0.05);
+    EXPECT_FALSE(fast.regressed);
+    EXPECT_EQ(find(fast, "cycles")->verdict, MetricVerdict::Improved);
+}
+
+TEST(BenchDiff, HigherIsBetterGatesOnShrink)
+{
+    const Json base = profileDoc(1000, 50, 1488);
+    const DiffResult diff =
+        diffReports(base, profileDoc(1000, 40, 1488), 0.05);
+    EXPECT_TRUE(diff.regressed);
+    EXPECT_EQ(find(diff, "throughput.gbytes_per_sec")->verdict,
+              MetricVerdict::Regressed);
+}
+
+TEST(BenchDiff, StableGatesBothWays)
+{
+    const Json base = profileDoc(1000, 50, 1488);
+    const DiffResult up =
+        diffReports(base, profileDoc(1000, 50, 2000), 0.05);
+    EXPECT_EQ(find(up, "sim.events")->verdict, MetricVerdict::Regressed);
+    const DiffResult down =
+        diffReports(base, profileDoc(1000, 50, 1000), 0.05);
+    EXPECT_EQ(find(down, "sim.events")->verdict, MetricVerdict::Regressed);
+}
+
+TEST(BenchDiff, ToleranceSuppressesSmallDrift)
+{
+    const Json base = profileDoc(1000, 50, 1488);
+    // +40% cycles passes under a 50% tolerance.
+    const DiffResult diff =
+        diffReports(base, profileDoc(1400, 50, 1488), 0.5);
+    EXPECT_FALSE(diff.regressed);
+    EXPECT_EQ(find(diff, "cycles")->verdict, MetricVerdict::Ok);
+}
+
+TEST(BenchDiff, InfoMetricsNeverGate)
+{
+    Json base = profileDoc(1000, 50, 1488);
+    Json next = profileDoc(1000, 50, 1488);
+    Json hac = Json::object();
+    hac.set("adjustments", 999.0);
+    next.set("hac", std::move(hac));
+    const DiffResult diff = diffReports(base, next, 0.05);
+    EXPECT_FALSE(diff.regressed);
+    EXPECT_EQ(find(diff, "hac.adjustments")->verdict, MetricVerdict::Info);
+}
+
+TEST(BenchDiff, ZeroBaselineUsesUnitDelta)
+{
+    Json base = profileDoc(1000, 50, 1488);
+    Json next = profileDoc(1000, 50, 1488);
+    base.set("cycles", 0.0);
+    next.set("cycles", 5.0);
+    const DiffResult diff = diffReports(base, next, 0.05);
+    const MetricDelta *m = find(diff, "cycles");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->rel, 1.0);
+    EXPECT_EQ(m->verdict, MetricVerdict::Regressed);
+}
+
+TEST(BenchDiff, SchemaMismatchRegresses)
+{
+    Json profile = profileDoc(1000, 50, 1488);
+    Json timeline = Json::object();
+    timeline.set("schema", "tsm-timeline-v1");
+    const DiffResult diff = diffReports(profile, timeline, 0.05);
+    EXPECT_TRUE(diff.regressed);
+    EXPECT_TRUE(diff.metrics.empty());
+    EXPECT_NE(renderDiff(diff).find("no comparable metrics"),
+              std::string::npos);
+
+    // Missing schema entirely is also a mismatch.
+    const DiffResult none = diffReports(Json::object(), profile, 0.05);
+    EXPECT_TRUE(none.regressed);
+}
+
+TEST(BenchDiff, MissingMetricsAreSkipped)
+{
+    Json base = Json::object();
+    base.set("schema", "tsm-profile-v1");
+    base.set("cycles", 100.0);
+    Json next = Json::object();
+    next.set("schema", "tsm-profile-v1");
+    // `cycles` absent in next: skipped, not compared, not a crash.
+    const DiffResult diff = diffReports(base, next, 0.05);
+    EXPECT_EQ(find(diff, "cycles"), nullptr);
+    EXPECT_FALSE(diff.regressed);
+}
+
+TEST(BenchDiff, TimelineDocumentsCompareWindows)
+{
+    auto timelineDoc = [](double span, double flits) {
+        Json doc = Json::object();
+        doc.set("schema", "tsm-timeline-v1");
+        doc.set("span_cycles", span);
+        doc.set("windows", 4.0);
+        doc.set("events", 100.0);
+        Json links = Json::array();
+        Json l = Json::object();
+        l.set("id", 0);
+        l.set("flits", flits);
+        links.push(std::move(l));
+        doc.set("links", std::move(links));
+        return doc;
+    };
+    const Json base = timelineDoc(1000, 64);
+    const DiffResult ok = diffReports(base, timelineDoc(1000, 64), 0.05);
+    EXPECT_FALSE(ok.regressed);
+    ASSERT_NE(find(ok, "span_cycles"), nullptr);
+    ASSERT_NE(find(ok, "links.total_flits"), nullptr);
+
+    const DiffResult slow =
+        diffReports(base, timelineDoc(1500, 64), 0.05);
+    EXPECT_TRUE(slow.regressed);
+    const DiffResult rerouted =
+        diffReports(base, timelineDoc(1000, 128), 0.05);
+    EXPECT_TRUE(rerouted.regressed); // flit drift = different work
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Terminal heatmap viewer for windowed timelines: reads the
+ * tsm-timeline-v1 files written by the bench binaries' --timeline
+ * flag and renders the links x windows utilization heatmap, the
+ * chips x windows issue-slot occupancy heatmap, and the
+ * bottleneck-phase ribbon with its per-phase summary table.
+ *
+ *   tsm_top [--cols=N] [--links=N] [--chips=N] TIMELINE.json...
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "telemetry/render.hh"
+#include "telemetry/timeline.hh"
+
+int
+main(int argc, char **argv)
+{
+    tsm::TopOptions opts;
+    tsm::CliParser cli("tsm_top");
+    cli.addValue("--cols", &opts.cols, "heatmap width in columns");
+    cli.addValue("--links", &opts.maxLinks, "links shown, busiest first");
+    cli.addValue("--chips", &opts.maxChips, "chips shown, busiest first");
+    cli.allowPositional();
+    if (!cli.parse(argc, argv))
+        return 2;
+    if (argc < 2) {
+        std::fprintf(stderr, "tsm_top: no timeline files given\n%s",
+                     cli.usage().c_str());
+        return 2;
+    }
+
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *path = argv[i];
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "tsm_top: cannot open %s\n", path);
+            ++failures;
+            continue;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        std::string error;
+        const tsm::Json timeline = tsm::Json::parse(text.str(), &error);
+        if (timeline.isNull()) {
+            std::fprintf(stderr, "tsm_top: %s: %s\n", path, error.c_str());
+            ++failures;
+            continue;
+        }
+        if (!timeline.has("schema") ||
+            timeline["schema"].str() != tsm::kTimelineSchema) {
+            std::fprintf(stderr, "tsm_top: %s: not a %s document\n", path,
+                         tsm::kTimelineSchema);
+            ++failures;
+            continue;
+        }
+        if (i > 1)
+            std::printf("\n");
+        std::printf("%s", tsm::renderTimelineTop(timeline, opts).c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}
