@@ -11,7 +11,7 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "prof/report.hh"
-#include "runtime/traced_scenario.hh"
+#include "scenario/runner.hh"
 #include "workload/matmul.hh"
 
 using namespace tsm;
@@ -22,11 +22,15 @@ main(int argc, char **argv)
     TraceOptions opts;
     std::uint64_t seed = 1;
     double mbe = 0.0;
+    std::string scenarioPath =
+        TSM_SCENARIO_DIR "/fig14_distributed_matmul.json";
     CliParser cli("fig14_distributed_matmul");
     opts.registerFlags(cli);
     cli.addValue("--seed", &seed, "network RNG seed for the traced run");
     cli.addValue("--mbe", &mbe,
                  "injected FEC multi-bit error rate per vector");
+    cli.addValue("--scenario", &scenarioPath,
+                 "scenario file for the instrumented timeline");
     if (!cli.parse(argc, argv))
         return 2;
     TraceSession session(std::move(opts));
@@ -38,22 +42,21 @@ main(int argc, char **argv)
     // pattern: the row-split partial-sum reduction, a 7-way fan-in of
     // partial products onto the chip owning the output panel. On one
     // 8-TSP node that contends every inbound link of TSP 0 at once —
-    // the traffic the utilization column decays under.
+    // the traffic the utilization column decays under. The pattern
+    // itself lives in the checked-in scenario file.
     if (session.active()) {
-        const Topology node = Topology::makeNode();
-        std::vector<TensorTransfer> transfers;
-        for (unsigned f = 1; f < node.numTsps(); ++f) {
-            TensorTransfer t;
-            t.flow = f;
-            t.src = TspId(f);
-            t.dst = 0;
-            t.vectors = 48;
-            transfers.push_back(t);
+        Scenario sc;
+        std::string error;
+        if (!loadScenarioFile(scenarioPath, sc, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
         }
-        runScheduledScenario(session, node, transfers,
-                             "fig14_distributed_matmul", seed, mbe);
+        ScenarioOverrides over;
+        over.seed = seed;
+        over.mbe = mbe;
+        const ScenarioRunResult run = runScenario(session, sc, over);
         if (ProfileCollector *prof = session.profile())
-            prof->addExtra("reduction_fan_in", double(transfers.size()));
+            prof->addExtra("reduction_fan_in", double(run.transfers));
     }
     const TspCostModel cost;
     DistMatmulConfig cfg; // the paper's operation

@@ -11,7 +11,7 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "prof/report.hh"
-#include "runtime/traced_scenario.hh"
+#include "scenario/runner.hh"
 #include "workload/bert.hh"
 
 using namespace tsm;
@@ -22,11 +22,14 @@ main(int argc, char **argv)
     TraceOptions opts;
     std::uint64_t seed = 1;
     double mbe = 0.0;
+    std::string scenarioPath = TSM_SCENARIO_DIR "/fig17_bert_latency.json";
     CliParser cli("fig17_bert_latency");
     opts.registerFlags(cli);
     cli.addValue("--seed", &seed, "network RNG seed for the traced run");
     cli.addValue("--mbe", &mbe,
                  "injected FEC multi-bit error rate per vector");
+    cli.addValue("--scenario", &scenarioPath,
+                 "scenario file for the instrumented timeline");
     if (!cli.parse(argc, argv))
         return 2;
     TraceSession session(std::move(opts));
@@ -41,19 +44,16 @@ main(int argc, char **argv)
     // timeline alternate compute-bound and network-bound windows —
     // pipeline bubbles show up as idle regimes.
     if (session.active()) {
-        const Topology node = Topology::makeNode();
-        std::vector<TensorTransfer> transfers;
-        for (unsigned hop = 0; hop < 3; ++hop) {
-            TensorTransfer t;
-            t.flow = FlowId(hop + 1);
-            t.src = TspId(hop);
-            t.dst = TspId(hop + 1);
-            t.vectors = 64; // one activation panel (20 KiB)
-            t.earliest = Cycle(hop) * 20000; // the shard's compute time
-            transfers.push_back(t);
+        Scenario sc;
+        std::string error;
+        if (!loadScenarioFile(scenarioPath, sc, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
         }
-        runScheduledScenario(session, node, transfers,
-                             "fig17_bert_latency", seed, mbe);
+        ScenarioOverrides over;
+        over.seed = seed;
+        over.mbe = mbe;
+        runScenario(session, sc, over);
         if (ProfileCollector *prof = session.profile())
             prof->addExtra("pipeline_stages", 4.0);
     }

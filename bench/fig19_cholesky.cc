@@ -12,7 +12,7 @@
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "prof/report.hh"
-#include "runtime/traced_scenario.hh"
+#include "scenario/runner.hh"
 #include "workload/cholesky.hh"
 
 using namespace tsm;
@@ -23,11 +23,14 @@ main(int argc, char **argv)
     TraceOptions opts;
     std::uint64_t seed = 1;
     double mbe = 0.0;
+    std::string scenarioPath = TSM_SCENARIO_DIR "/fig19_cholesky.json";
     CliParser cli("fig19_cholesky");
     opts.registerFlags(cli);
     cli.addValue("--seed", &seed, "network RNG seed for the traced run");
     cli.addValue("--mbe", &mbe,
                  "injected FEC multi-bit error rate per vector");
+    cli.addValue("--scenario", &scenarioPath,
+                 "scenario file for the instrumented timeline");
     if (!cli.parse(argc, argv))
         return 2;
     TraceSession session(std::move(opts));
@@ -43,26 +46,16 @@ main(int argc, char **argv)
     // by owner-compute gaps — the serial fraction §5.5 blames for the
     // saturating speedups.
     if (session.active()) {
-        const Topology node = Topology::makeNode();
-        std::vector<TensorTransfer> transfers;
-        FlowId flow = 1;
-        for (unsigned round = 0; round < 3; ++round) {
-            const TspId owner = TspId(round);
-            const std::uint32_t panel = 48 - 12 * round;
-            for (TspId t = 0; t < 4; ++t) {
-                if (t == owner)
-                    continue;
-                TensorTransfer x;
-                x.flow = flow++;
-                x.src = owner;
-                x.dst = t;
-                x.vectors = panel;
-                x.earliest = Cycle(round) * 15000;
-                transfers.push_back(x);
-            }
+        Scenario sc;
+        std::string error;
+        if (!loadScenarioFile(scenarioPath, sc, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
         }
-        runScheduledScenario(session, node, transfers, "fig19_cholesky",
-                             seed, mbe);
+        ScenarioOverrides over;
+        over.seed = seed;
+        over.mbe = mbe;
+        runScenario(session, sc, over);
         if (ProfileCollector *prof = session.profile())
             prof->addExtra("broadcast_rounds", 3.0);
     }

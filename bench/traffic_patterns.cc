@@ -4,13 +4,18 @@
  * patterns on an 8-TSP node and a 2-node system, comparing the SSN
  * schedule's completion against the dynamically routed baseline's —
  * including the baseline's latency spread, which SSN does not have.
+ *
+ * The patterns themselves are checked-in scenario files under
+ * scenarios/traffic/; this binary is a thin loader over them.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "baseline/hw_router.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "scenario/scenario.hh"
 #include "ssn/scheduler.hh"
 #include "workload/traffic_gen.hh"
 
@@ -18,19 +23,31 @@ using namespace tsm;
 
 namespace {
 
-void
-sweep(const Topology &topo, const char *title, std::uint32_t vectors)
+bool
+sweep(const std::string &dir, const char *prefix, const char *title)
 {
-    std::printf("%s (%u vectors per flow):\n", title, vectors);
+    std::uint32_t vectors = 0;
     Table table({"pattern", "SSN us", "router us", "router p99-p1 ns"});
     for (TrafficPattern p : allTrafficPatterns()) {
-        const auto transfers = generateTraffic(topo, p, vectors, 7);
+        const std::string path = dir + "/" + prefix +
+                                 trafficPatternName(p) + ".json";
+        Scenario sc;
+        std::string error;
+        if (!loadScenarioFile(path, sc, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return false;
+        }
+        const Topology topo = sc.topology.build();
+        const auto lowered = lowerScenario(sc, topo);
+        const auto &transfers = lowered.transfers;
+        if (!sc.patterns.empty())
+            vectors = sc.patterns.front().vectors;
 
-        SsnScheduler scheduler(topo);
+        SsnScheduler scheduler(topo, sc.ssn);
         const auto sched = scheduler.schedule(transfers);
 
         EventQueue eq;
-        HwRoutedNetwork hw(topo, eq, Rng(7));
+        HwRoutedNetwork hw(topo, eq, Rng(sc.seed));
         for (const auto &t : transfers)
             hw.inject(t.flow, t.src, t.dst, t.vectors, 0);
         eq.run();
@@ -46,7 +63,9 @@ sweep(const Topology &topo, const char *title, std::uint32_t vectors)
              Table::num(lat.percentile(0.99) - lat.percentile(0.01),
                         0)});
     }
+    std::printf("%s (%u vectors per flow):\n", title, vectors);
     std::printf("%s\n", table.ascii().c_str());
+    return true;
 }
 
 } // namespace
@@ -54,15 +73,19 @@ sweep(const Topology &topo, const char *title, std::uint32_t vectors)
 int
 main(int argc, char **argv)
 {
+    std::string dir = TSM_SCENARIO_DIR "/traffic";
     CliParser cli("traffic_patterns");
+    cli.addValue("--scenario-dir", &dir,
+                 "directory holding the traffic scenario files");
     if (!cli.parse(argc, argv))
         return 2;
 
     std::printf("=== Synthetic traffic patterns: scheduled vs routed "
                 "===\n\n");
-    sweep(Topology::makeNode(), "8-TSP node", 64);
-    sweep(Topology::makeSingleLevel(2), "2-node dragonfly (16 TSPs)",
-          32);
+    if (!sweep(dir, "node_", "8-TSP node"))
+        return 2;
+    if (!sweep(dir, "system2_", "2-node dragonfly (16 TSPs)"))
+        return 2;
     std::printf("SSN completion is comparable to (often better than) "
                 "dynamic routing while\ncarrying zero per-packet "
                 "latency variance; the router's p99-p1 spread grows\n"

@@ -57,6 +57,17 @@ CliParser::addValue(std::string name, double *out, std::string help)
 }
 
 void
+CliParser::addList(std::string name, std::vector<std::string> *out,
+                   std::string help)
+{
+    Flag f;
+    f.name = std::move(name);
+    f.listOut = out;
+    f.help = std::move(help);
+    flags_.push_back(std::move(f));
+}
+
+void
 CliParser::allowPrefix(std::string prefix)
 {
     prefixes_.push_back(std::move(prefix));
@@ -72,6 +83,7 @@ CliParser::usage() const
         if (f.takesValue())
             out += (f.uintOut || f.u64Out) ? "=N"
                    : f.doubleOut           ? "=X"
+                   : f.listOut             ? "=A,B,..."
                                            : "=VALUE";
         if (!f.help.empty())
             out += "   " + f.help;
@@ -167,6 +179,32 @@ CliParser::parse(int &argc, char **argv)
                     ok = false;
                 } else {
                     *match->doubleOut = v;
+                }
+            } else if (match->listOut) {
+                std::size_t start = 0;
+                bool bad = false;
+                std::vector<std::string> items;
+                while (start <= value.size()) {
+                    std::size_t comma = value.find(',', start);
+                    if (comma == std::string::npos)
+                        comma = value.size();
+                    if (comma == start) {
+                        bad = true;
+                        break;
+                    }
+                    items.push_back(value.substr(start, comma - start));
+                    start = comma + 1;
+                }
+                if (bad) {
+                    std::fprintf(stderr,
+                                 "%s: flag %s expects a comma-separated "
+                                 "list with no empty items, got \"%s\"\n",
+                                 prog_.c_str(), match->name.c_str(),
+                                 value.c_str());
+                    ok = false;
+                } else {
+                    for (auto &item : items)
+                        match->listOut->push_back(std::move(item));
                 }
             }
             continue;

@@ -46,6 +46,15 @@ class CliParser
     void addValue(std::string name, double *out, std::string help = "");
 
     /**
+     * Register a list-valued flag: `--name=a,b,c` appends the
+     * comma-separated items to *out. Repeating the flag appends
+     * further items; empty items (`--name=a,,b` or a trailing comma)
+     * are rejected as malformed.
+     */
+    void addList(std::string name, std::vector<std::string> *out,
+                 std::string help = "");
+
+    /**
      * Let arguments starting with `prefix` pass through unparsed (they
      * stay in argv for a downstream parser).
      */
@@ -79,6 +88,7 @@ class CliParser
         unsigned *uintOut = nullptr;
         std::uint64_t *u64Out = nullptr;
         double *doubleOut = nullptr;
+        std::vector<std::string> *listOut = nullptr;
         std::string help;
 
         bool takesValue() const { return boolOut == nullptr; }

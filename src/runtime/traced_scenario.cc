@@ -14,11 +14,12 @@ TracedScenarioResult
 runScheduledScenario(TraceSession &session, const Topology &topo,
                      const std::vector<TensorTransfer> &transfers,
                      const std::string &bench, std::uint64_t seed,
-                     double mbe)
+                     double mbe, SsnConfig ssn,
+                     const std::vector<TraceSink *> &extraSinks)
 {
     TracedScenarioResult result;
 
-    SsnScheduler scheduler(topo);
+    SsnScheduler scheduler(topo, ssn);
     result.schedule = scheduler.schedule(transfers);
     session.setRun(bench, seed);
     if (ProfileCollector *prof = session.profile())
@@ -26,6 +27,8 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
 
     EventQueue eq;
     session.attach(eq.tracer());
+    for (TraceSink *sink : extraSinks)
+        eq.tracer().addSink(sink);
     traceSchedule(eq.tracer(), result.schedule);
 
     Network net(topo, eq, Rng(seed));
@@ -45,6 +48,10 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
         chips[t]->start(0);
     }
     eq.run();
+    for (TraceSink *sink : extraSinks) {
+        eq.tracer().removeSink(sink);
+        sink->finish();
+    }
     session.detach();
 
     result.flitsDelivered = net.totalFlits();

@@ -21,6 +21,7 @@
 #include "net/topology.hh"
 #include "ssn/scheduler.hh"
 #include "trace/session.hh"
+#include "trace/trace.hh"
 
 namespace tsm {
 
@@ -43,13 +44,18 @@ struct TracedScenarioResult
  * `bench`/`seed` on the session's collectors and attaches the
  * schedule analysis to the profile collector when one is active.
  * `mbe` > 0 injects FEC multi-bit errors at that per-vector rate
- * (corrupting payloads without perturbing timing).
+ * (corrupting payloads without perturbing timing). `ssn` selects the
+ * scheduler policy; `extraSinks` are attached to the run's tracer for
+ * its duration and finish()ed before returning — the hook the
+ * scenario fuzzer uses to capture journals and waterfalls without
+ * going through files.
  */
 TracedScenarioResult
 runScheduledScenario(TraceSession &session, const Topology &topo,
                      const std::vector<TensorTransfer> &transfers,
                      const std::string &bench, std::uint64_t seed,
-                     double mbe = 0.0);
+                     double mbe = 0.0, SsnConfig ssn = {},
+                     const std::vector<TraceSink *> &extraSinks = {});
 
 } // namespace tsm
 

@@ -1,0 +1,295 @@
+#include "scenario/generator.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hh"
+
+namespace tsm {
+
+namespace {
+
+/** Explicit flows use ids below these; keeps the ranges disjoint. */
+constexpr FlowId kCollectiveFirstFlow = 1001;
+constexpr FlowId kPatternFirstFlow = 2001;
+
+TspId
+pickOther(Rng &rng, unsigned numTsps, TspId avoid)
+{
+    TspId t;
+    do {
+        t = TspId(rng.below(numTsps));
+    } while (t == avoid);
+    return t;
+}
+
+} // namespace
+
+Scenario
+generateScenario(std::uint64_t seed, const FuzzConfig &config)
+{
+    Rng rng(seed ^ 0x7365636e6172696fULL); // "scenario"
+
+    Scenario sc;
+    sc.name = "fuzz-" + std::to_string(seed);
+    sc.seed = rng.below(100000);
+
+    // Topology: mostly a single node (both wirings), sometimes the
+    // 2-node dragonfly, occasionally a bare ring (no collectives
+    // there — they assume node packaging).
+    const std::uint64_t topoPick = rng.below(10);
+    bool nodeBased = true;
+    if (topoPick < 5) {
+        sc.topology.kind = ScenarioTopologyKind::Node;
+        sc.topology.wiring = rng.chance(0.3) ? NodeWiring::TripleRing
+                                             : NodeWiring::FullMesh;
+    } else if (topoPick < 8 && config.allowMultiNode) {
+        sc.topology.kind = ScenarioTopologyKind::SingleLevel;
+        sc.topology.size = 2;
+        sc.topology.wiring = rng.chance(0.2) ? NodeWiring::TripleRing
+                                             : NodeWiring::FullMesh;
+    } else if (topoPick == 8) {
+        sc.topology.kind = ScenarioTopologyKind::Ring;
+        sc.topology.size = unsigned(4 + rng.below(7)); // 4..10
+        nodeBased = false;
+    } else {
+        sc.topology.kind = ScenarioTopologyKind::Node;
+        sc.topology.wiring = NodeWiring::FullMesh;
+    }
+    const unsigned numTsps =
+        sc.topology.kind == ScenarioTopologyKind::Ring
+            ? sc.topology.size
+        : sc.topology.kind == ScenarioTopologyKind::SingleLevel
+            ? sc.topology.size * 8
+            : 8;
+
+    // SSN policy: mostly defaults, sometimes the ablation corners.
+    if (rng.chance(0.25)) {
+        sc.ssn.maxExtraHops = unsigned(rng.below(3)); // 0..2
+        sc.ssn.maxPaths = unsigned(1 + rng.below(16));
+        sc.ssn.loadBalance = rng.chance(0.8);
+    }
+
+    if (config.allowMbe && rng.chance(0.15))
+        sc.mbe = rng.chance(0.5) ? 0.02 : 0.05;
+
+    // Contention shape: one hotspot destination, and a handful of
+    // start cycles flows cluster on so their windows overlap.
+    const TspId hotspot = TspId(rng.below(numTsps));
+    const Cycle startBase = Cycle(rng.below(3)) * 10000;
+
+    const unsigned maxFlows = std::max(1u, config.maxFlows);
+    const unsigned nFlows = unsigned(1 + rng.below(maxFlows));
+    const bool sparseIds = rng.chance(0.2);
+    FlowId nextId = 1;
+    for (unsigned i = 0; i < nFlows; ++i) {
+        ScenarioFlow f;
+        f.id = nextId;
+        nextId += sparseIds ? FlowId(1 + rng.below(3)) : 1;
+
+        f.src = TspId(rng.below(numTsps));
+        f.dst = rng.chance(config.contentionBias) && hotspot != f.src
+                    ? hotspot
+                    : pickOther(rng, numTsps, f.src);
+
+        if (rng.chance(0.25)) {
+            f.tensor.hasShape = true;
+            f.tensor.rows = 1 + rng.below(64);
+            f.tensor.cols = 1 + rng.below(64);
+            const std::uint64_t dt = rng.below(3);
+            f.tensor.dtype = dt == 0 ? "fp16" : dt == 1 ? "fp32" : "int8";
+            const std::uint64_t elem =
+                dt == 0 ? 2 : dt == 1 ? 4 : 1;
+            f.tensor.vectors = std::uint32_t(
+                (f.tensor.rows * f.tensor.cols * elem + 319) / 320);
+        } else {
+            f.tensor.vectors =
+                std::uint32_t(1 + rng.below(config.maxVectors));
+        }
+
+        f.start = rng.chance(0.5)
+                      ? startBase
+                      : startBase + Cycle(rng.below(20000));
+        f.role = config.allowBackground && rng.chance(0.25)
+                     ? FlowRole::Background
+                     : FlowRole::Foreground;
+        sc.flows.push_back(std::move(f));
+    }
+
+    if (config.allowCollectives && rng.chance(0.35)) {
+        ScenarioCollective c;
+        const std::uint64_t opPick = rng.below(nodeBased ? 4 : 2);
+        c.op = opPick == 0   ? ScenarioCollectiveOp::Broadcast
+               : opPick == 1 ? ScenarioCollectiveOp::Gather
+               : opPick == 2 ? ScenarioCollectiveOp::ReduceScatter
+                             : ScenarioCollectiveOp::AllGather;
+        c.root = TspId(rng.below(numTsps));
+        c.vectors = std::uint32_t(1 + rng.below(16));
+        c.firstFlow = kCollectiveFirstFlow;
+        c.start = rng.chance(0.5) ? startBase : 0;
+        sc.collectives.push_back(std::move(c));
+    }
+
+    if (config.allowPatterns && rng.chance(0.35)) {
+        ScenarioPattern p;
+        const auto all = allTrafficPatterns();
+        p.kind = all[rng.below(all.size())];
+        p.vectors = std::uint32_t(1 + rng.below(16));
+        p.seed = rng.below(1000);
+        p.firstFlow = kPatternFirstFlow;
+        p.start = rng.chance(0.5) ? startBase : 0;
+        p.role = config.allowBackground && rng.chance(0.3)
+                     ? FlowRole::Background
+                     : FlowRole::Foreground;
+        sc.patterns.push_back(std::move(p));
+    }
+
+    // The draw above is biased toward contention, so it occasionally
+    // lands outside the machine's capacity envelope (validateScenario
+    // dry-runs the SSN compile and rejects schedules that exhaust a
+    // chip's stream registers). Degrade deterministically until valid:
+    // halve every tensor, then shed traffic sources — the fuzzer must
+    // only ever emit scenarios the machine can actually run.
+    while (!validateScenario(sc, nullptr)) {
+        bool thinned = false;
+        for (ScenarioFlow &f : sc.flows) {
+            if (f.tensor.vectors > 1) {
+                f.tensor = TensorSpec{
+                    std::max<std::uint32_t>(1, f.tensor.vectors / 2)};
+                thinned = true;
+            }
+        }
+        for (ScenarioCollective &c : sc.collectives) {
+            if (c.vectors > 1) {
+                c.vectors /= 2;
+                thinned = true;
+            }
+        }
+        for (ScenarioPattern &p : sc.patterns) {
+            if (p.vectors > 1) {
+                p.vectors /= 2;
+                thinned = true;
+            }
+        }
+        if (thinned)
+            continue;
+        if (!sc.patterns.empty())
+            sc.patterns.clear();
+        else if (!sc.collectives.empty())
+            sc.collectives.clear();
+        else if (sc.flows.size() > 1)
+            sc.flows.pop_back();
+        else
+            break; // one single-vector flow; give validate the last word
+    }
+
+    return sc;
+}
+
+std::vector<Scenario>
+shrinkCandidates(const Scenario &scenario)
+{
+    std::vector<Scenario> out;
+    auto keepValid = [&out](Scenario candidate) {
+        if (candidate.flows.empty() && candidate.collectives.empty() &&
+            candidate.patterns.empty())
+            return;
+        if (validateScenario(candidate, nullptr))
+            out.push_back(std::move(candidate));
+    };
+
+    // Drop whole traffic sources first — the biggest simplification.
+    if (!scenario.patterns.empty()) {
+        Scenario s = scenario;
+        s.patterns.clear();
+        keepValid(std::move(s));
+    }
+    if (!scenario.collectives.empty()) {
+        Scenario s = scenario;
+        s.collectives.clear();
+        keepValid(std::move(s));
+    }
+
+    // Drop each explicit flow.
+    for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
+        Scenario s = scenario;
+        s.flows.erase(s.flows.begin() + std::ptrdiff_t(i));
+        keepValid(std::move(s));
+    }
+
+    // Disable error injection.
+    if (scenario.mbe > 0.0) {
+        Scenario s = scenario;
+        s.mbe = 0.0;
+        keepValid(std::move(s));
+    }
+
+    // Plainer SSN policy.
+    {
+        const SsnConfig def;
+        if (scenario.ssn.maxExtraHops != def.maxExtraHops ||
+            scenario.ssn.maxPaths != def.maxPaths ||
+            scenario.ssn.loadBalance != def.loadBalance) {
+            Scenario s = scenario;
+            s.ssn = def;
+            keepValid(std::move(s));
+        }
+    }
+
+    // Plainer topology: anything -> one full-mesh node, when every
+    // referenced chip fits in 8.
+    if (scenario.topology.kind != ScenarioTopologyKind::Node ||
+        scenario.topology.wiring != NodeWiring::FullMesh) {
+        bool fits = true;
+        for (const auto &f : scenario.flows)
+            fits = fits && f.src < 8 && f.dst < 8;
+        for (const auto &c : scenario.collectives)
+            fits = fits && c.root < 8;
+        if (fits) {
+            Scenario s = scenario;
+            s.topology = ScenarioTopology{};
+            keepValid(std::move(s));
+        }
+    }
+
+    // Shrink tensors: single-vector flows, plain vectors form,
+    // zeroed start cycles, foreground role.
+    for (std::size_t i = 0; i < scenario.flows.size(); ++i) {
+        const ScenarioFlow &f = scenario.flows[i];
+        if (f.tensor.vectors > 1 || f.tensor.hasShape) {
+            Scenario s = scenario;
+            s.flows[i].tensor = TensorSpec{};
+            s.flows[i].tensor.vectors =
+                std::max<std::uint32_t>(1, f.tensor.vectors / 2);
+            keepValid(std::move(s));
+        }
+        if (f.start > 0) {
+            Scenario s = scenario;
+            s.flows[i].start = 0;
+            keepValid(std::move(s));
+        }
+        if (f.role == FlowRole::Background) {
+            Scenario s = scenario;
+            s.flows[i].role = FlowRole::Foreground;
+            keepValid(std::move(s));
+        }
+    }
+    for (std::size_t i = 0; i < scenario.collectives.size(); ++i) {
+        if (scenario.collectives[i].vectors > 1) {
+            Scenario s = scenario;
+            s.collectives[i].vectors /= 2;
+            keepValid(std::move(s));
+        }
+    }
+    for (std::size_t i = 0; i < scenario.patterns.size(); ++i) {
+        if (scenario.patterns[i].vectors > 1) {
+            Scenario s = scenario;
+            s.patterns[i].vectors /= 2;
+            keepValid(std::move(s));
+        }
+    }
+
+    return out;
+}
+
+} // namespace tsm

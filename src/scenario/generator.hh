@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seeded random scenario generation and shrinking for the
+ * determinism fuzzer (tools/tsm_fuzz).
+ *
+ * generateScenario(seed) emits a random scenario that is always
+ * valid by construction — bounded topology (at most two nodes),
+ * bounded flow count and tensor sizes, and disjoint flow-id ranges
+ * for the three traffic sources — and is *biased toward contention*:
+ * a per-scenario hotspot chip attracts a configurable fraction of
+ * flow destinations, and start cycles cluster so transfers overlap.
+ * Contention is where scheduling bugs live; uniform traffic would
+ * mostly test the idle machine.
+ *
+ * shrinkCandidates() proposes strictly simpler variants of a failing
+ * scenario (fewer flows, smaller tensors, no collectives/patterns,
+ * plainer topology). The fuzzer greedily re-tests candidates to find
+ * a minimal reproducer to save.
+ */
+
+#ifndef TSM_SCENARIO_GENERATOR_HH
+#define TSM_SCENARIO_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/scenario.hh"
+
+namespace tsm {
+
+/** Bounds and biases of the scenario generator. */
+struct FuzzConfig
+{
+    /** Most explicit flows a scenario carries. */
+    unsigned maxFlows = 10;
+
+    /** Largest explicit-flow tensor, in vectors. */
+    std::uint32_t maxVectors = 48;
+
+    /** Probability a flow's destination is the hotspot chip. */
+    double contentionBias = 0.6;
+
+    bool allowCollectives = true;
+    bool allowPatterns = true;
+
+    /** Allow background-role traffic. */
+    bool allowBackground = true;
+
+    /** Allow FEC MBE injection rates > 0. */
+    bool allowMbe = true;
+
+    /** Allow 16-chip (two-node dragonfly) topologies. */
+    bool allowMultiNode = true;
+};
+
+/**
+ * Deterministically generate a valid scenario from `seed`. Equal
+ * seeds and configs produce equal scenarios (and therefore equal
+ * canonical documents).
+ */
+Scenario generateScenario(std::uint64_t seed,
+                          const FuzzConfig &config = {});
+
+/**
+ * Strictly simpler variants of `scenario`, most aggressive first.
+ * Every candidate is still valid. Empty when the scenario is already
+ * minimal.
+ */
+std::vector<Scenario> shrinkCandidates(const Scenario &scenario);
+
+} // namespace tsm
+
+#endif // TSM_SCENARIO_GENERATOR_HH

@@ -1,0 +1,105 @@
+#include "scenario/runner.hh"
+
+#include <sstream>
+
+#include "prof/report.hh"
+#include "telemetry/progress.hh"
+#include "telemetry/timeline.hh"
+#include "trace/journal.hh"
+
+namespace tsm {
+
+namespace {
+
+Cycle
+foregroundMakespan(const NetworkSchedule &sched,
+                   const LoweredScenario &lowered)
+{
+    Cycle fg = 0;
+    for (std::size_t i = 0; i < lowered.transfers.size(); ++i) {
+        if (lowered.roles[i] != FlowRole::Foreground)
+            continue;
+        fg = std::max(fg,
+                      sched.flowCompletion(lowered.transfers[i].flow));
+    }
+    return fg;
+}
+
+} // namespace
+
+ScenarioRunResult
+runScenario(TraceSession &session, const Scenario &scenario,
+            const ScenarioOverrides &overrides)
+{
+    const std::uint64_t seed = overrides.seed.value_or(scenario.seed);
+    const double mbe = overrides.mbe.value_or(scenario.mbe);
+
+    const Topology topo = scenario.topology.build();
+    const LoweredScenario lowered = lowerScenario(scenario, topo);
+
+    ScenarioRunResult result;
+    result.traced =
+        runScheduledScenario(session, topo, lowered.transfers,
+                             scenario.name, seed, mbe, scenario.ssn);
+    result.makespan = result.traced.schedule.makespan;
+    result.foregroundMakespan =
+        foregroundMakespan(result.traced.schedule, lowered);
+    result.transfers = lowered.transfers.size();
+    result.backgroundTransfers = lowered.backgroundTransfers();
+    return result;
+}
+
+bool
+ScenarioExecution::allSpansClosed() const
+{
+    for (const auto &[span, record] : transfers) {
+        (void)span;
+        if (!record.closed)
+            return false;
+    }
+    return true;
+}
+
+bool
+ScenarioExecution::waterfallsExact() const
+{
+    if (transfers.size() != expectedSpans)
+        return false;
+    for (const auto &[span, record] : transfers) {
+        (void)span;
+        if (!record.closed || record.stagesPs() != record.totalPs())
+            return false;
+    }
+    return true;
+}
+
+ScenarioExecution
+executeScenario(const Scenario &scenario,
+                const ScenarioOverrides &overrides)
+{
+    const std::uint64_t seed = overrides.seed.value_or(scenario.seed);
+    const double mbe = overrides.mbe.value_or(scenario.mbe);
+
+    const Topology topo = scenario.topology.build();
+    const LoweredScenario lowered = lowerScenario(scenario, topo);
+
+    std::ostringstream journalText;
+    JournalSink journal(journalText);
+    ProfilerSink profiler;
+
+    TraceSession inactive;
+    const TracedScenarioResult traced = runScheduledScenario(
+        inactive, topo, lowered.transfers, scenario.name, seed, mbe,
+        scenario.ssn, {&journal, &profiler});
+
+    ScenarioExecution exec;
+    exec.journal = journalText.str();
+    exec.transfers = profiler.transfers();
+    for (const TensorTransfer &t : lowered.transfers)
+        exec.expectedSpans += t.vectors;
+    exec.makespan = traced.schedule.makespan;
+    exec.flitsDelivered = traced.flitsDelivered;
+    return exec;
+}
+
+} // namespace tsm

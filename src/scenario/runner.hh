@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Executing a parsed Scenario on the simulated machine.
+ *
+ * Two entry points share the same lowering and execution path:
+ *
+ *  - runScenario() drives a TraceSession, exposing the full
+ *    instrumentation flag set (--trace/--report/--journal/--timeline/
+ *    --progress) to scenario-driven bench binaries — a bench becomes
+ *    a thin loader: parse the file, run it, print the result.
+ *
+ *  - executeScenario() runs headless and captures the canonical
+ *    journal text and the per-transfer waterfalls in memory. This is
+ *    the fuzzer's oracle: run a scenario twice and the two journals
+ *    must be byte-identical; every waterfall must tile its transfer's
+ *    observed latency exactly.
+ */
+
+#ifndef TSM_SCENARIO_RUNNER_HH
+#define TSM_SCENARIO_RUNNER_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "prof/profiler.hh"
+#include "runtime/traced_scenario.hh"
+#include "scenario/scenario.hh"
+
+namespace tsm {
+
+/** Per-run knobs that override what the scenario document says. */
+struct ScenarioOverrides
+{
+    std::optional<std::uint64_t> seed;
+    std::optional<double> mbe;
+};
+
+/** Outcome of one scenario run through a TraceSession. */
+struct ScenarioRunResult
+{
+    TracedScenarioResult traced;
+
+    /** Cycle by which every transfer (any role) has arrived. */
+    Cycle makespan = 0;
+
+    /** Cycle by which every *foreground* transfer has arrived. */
+    Cycle foregroundMakespan = 0;
+
+    std::size_t transfers = 0;
+    std::size_t backgroundTransfers = 0;
+};
+
+/**
+ * Lower and execute `scenario` with the session's sinks attached.
+ * The session's collectors are stamped with the scenario name and
+ * the effective seed.
+ */
+ScenarioRunResult runScenario(TraceSession &session,
+                              const Scenario &scenario,
+                              const ScenarioOverrides &overrides = {});
+
+/** What executeScenario captured. */
+struct ScenarioExecution
+{
+    /** Canonical tsm-journal-v1 text of the full trace stream. */
+    std::string journal;
+
+    /** Per-transfer waterfalls keyed by parent span id. */
+    std::map<SpanId, TransferRecord> transfers;
+
+    /** Vectors the lowered transfer set moves (expected span count). */
+    std::uint64_t expectedSpans = 0;
+
+    Cycle makespan = 0;
+    std::uint64_t flitsDelivered = 0;
+
+    /** True if every transfer span opened was also closed. */
+    bool allSpansClosed() const;
+
+    /**
+     * True if, for every closed transfer, serialize + flight +
+     * forward + wait equals the observed end-to-end latency exactly,
+     * and the number of spans matches the vectors moved.
+     */
+    bool waterfallsExact() const;
+};
+
+/**
+ * Execute `scenario` headless, capturing the journal and waterfalls.
+ * Deterministic: equal scenarios and overrides produce byte-identical
+ * journals — the invariant tools/tsm_fuzz asserts.
+ */
+ScenarioExecution executeScenario(const Scenario &scenario,
+                                  const ScenarioOverrides &overrides = {});
+
+} // namespace tsm
+
+#endif // TSM_SCENARIO_RUNNER_HH

@@ -1,0 +1,5 @@
+tsm_module(scenario
+    scenario.cc
+    runner.cc
+    generator.cc
+)

@@ -267,13 +267,19 @@ validateSchedule(const NetworkSchedule &sched, const Topology &topo)
     return report;
 }
 
-ProgramSet
-buildPrograms(const NetworkSchedule &sched, const Topology &topo,
-              const std::unordered_map<FlowId, LocalAddr> &dst_base,
-              const std::unordered_map<FlowId, LocalAddr> &src_base)
+bool
+tryBuildPrograms(const NetworkSchedule &sched, const Topology &topo,
+                 const std::unordered_map<FlowId, LocalAddr> &dst_base,
+                 const std::unordered_map<FlowId, LocalAddr> &src_base,
+                 ProgramSet &out, std::string *error)
 {
-    ProgramSet out;
+    out = ProgramSet{};
     out.byChip.resize(topo.numTsps());
+    auto capacityFail = [error](TspId chip, const std::string &what) {
+        if (error)
+            *error = "tsp" + std::to_string(chip) + ": " + what;
+        return false;
+    };
 
     // Gather per-chip instruction events, then sort by issue cycle.
     struct Event
@@ -303,14 +309,9 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
         }
         return -1;
     };
-    auto alloc_stream = [&](TspId chip, Cycle from, Cycle until) {
-        const int s = try_alloc_stream(chip, from, until);
-        TSM_ASSERT(s >= 0,
-                   "tsp{}: more than {} vectors in flight through "
-                   "stream registers",
-                   chip, kNumStreams);
-        return unsigned(s);
-    };
+    const std::string kOverflow =
+        "more than " + std::to_string(kNumStreams) +
+        " vectors in flight through stream registers";
 
     // Cut-through spill buffer: when a forwarded vector must be held
     // longer than the stream registers can cover, it is parked in
@@ -351,15 +352,19 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                 stream = try_alloc_stream(to, rx_cycle, hold_until);
 
             if (stream < 0) {
-                TSM_ASSERT(!last_hop,
-                           "destination receive could not get a stream");
+                if (last_hop)
+                    return capacityFail(
+                        to, "destination receive could not get a "
+                            "stream register — " + kOverflow);
                 // Spill path: Recv -> Write(SRAM) ... Read -> Send,
                 // with two short stream holds instead of a long one.
                 const Cycle send_at = sv.hops[h + 1].depart;
-                const unsigned s_in =
-                    alloc_stream(to, rx_cycle, rx_cycle + 2);
-                const unsigned s_out =
-                    alloc_stream(to, send_at - 4, send_at + 1);
+                const int s_in =
+                    try_alloc_stream(to, rx_cycle, rx_cycle + 2);
+                const int s_out =
+                    try_alloc_stream(to, send_at - 4, send_at + 1);
+                if (s_in < 0 || s_out < 0)
+                    return capacityFail(to, kOverflow);
                 const LocalAddr scratch = alloc_spill(to);
 
                 Instr rx;
@@ -448,8 +453,11 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                     it != src_base.end()) {
                     const Cycle read_at =
                         hop.depart >= 12 ? hop.depart - 12 : 0;
-                    tx_stream = alloc_stream(hop.from, read_at,
-                                             hop.depart + 1);
+                    const int s = try_alloc_stream(hop.from, read_at,
+                                                   hop.depart + 1);
+                    if (s < 0)
+                        return capacityFail(hop.from, kOverflow);
+                    tx_stream = unsigned(s);
                     Instr rd;
                     rd.op = Op::Read;
                     rd.dst = std::uint8_t(tx_stream);
@@ -495,9 +503,11 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                     c = last_flexible + 1;
                 while (send_cycles.contains(c))
                     ++c;
-                TSM_ASSERT(c - e.cycle < 64,
-                           "receive slid too far from its arrival; issue "
-                           "pressure exceeds the forward-pipeline margin");
+                if (c - e.cycle >= 64)
+                    return capacityFail(
+                        chip, "receive slid too far from its arrival; "
+                              "issue pressure exceeds the "
+                              "forward-pipeline margin");
                 last_flexible = c;
                 any_flexible = true;
             }
@@ -533,17 +543,34 @@ buildPrograms(const NetworkSchedule &sched, const Topology &topo,
                 wrote0 |= i.dst == 0;
             } else if (i.op == Op::Send) {
                 if (i.srcA != 0 || wrote0) {
-                    TSM_ASSERT(last_write[i.srcA] > last_consume[i.srcA] &&
-                                   last_write[i.srcA] < i.issueAt,
-                               "tsp{}: send at cycle {} consumes stream "
-                               "{} with no fresh value — an upstream "
-                               "read/receive slid past it",
-                               chip, i.issueAt, unsigned(i.srcA));
+                    if (last_write[i.srcA] <= last_consume[i.srcA] ||
+                        last_write[i.srcA] >= i.issueAt)
+                        return capacityFail(
+                            chip,
+                            "send at cycle " +
+                                std::to_string(i.issueAt) +
+                                " consumes stream " +
+                                std::to_string(unsigned(i.srcA)) +
+                                " with no fresh value — an upstream "
+                                "read/receive slid past it");
                 }
                 last_consume[i.srcA] = i.issueAt;
             }
         }
     }
+    return true;
+}
+
+ProgramSet
+buildPrograms(const NetworkSchedule &sched, const Topology &topo,
+              const std::unordered_map<FlowId, LocalAddr> &dst_base,
+              const std::unordered_map<FlowId, LocalAddr> &src_base)
+{
+    ProgramSet out;
+    std::string error;
+    const bool ok =
+        tryBuildPrograms(sched, topo, dst_base, src_base, out, &error);
+    TSM_ASSERT(ok, "buildPrograms: {}", error);
     return out;
 }
 

@@ -152,6 +152,20 @@ ProgramSet buildPrograms(
     const std::unordered_map<FlowId, LocalAddr> &dst_base = {},
     const std::unordered_map<FlowId, LocalAddr> &src_base = {});
 
+/**
+ * Like buildPrograms, but reports over-capacity schedules instead of
+ * panicking: traffic so contended that a chip runs out of stream
+ * registers (or a receive slides past the forward-pipeline margin)
+ * returns false with a "tspN: ..." diagnosis in `*error`. This is
+ * how the scenario layer rejects oversubscribing workloads up front —
+ * the machine's buffering is a real, finite resource.
+ */
+bool tryBuildPrograms(
+    const NetworkSchedule &sched, const Topology &topo,
+    const std::unordered_map<FlowId, LocalAddr> &dst_base,
+    const std::unordered_map<FlowId, LocalAddr> &src_base,
+    ProgramSet &out, std::string *error);
+
 } // namespace tsm
 
 #endif // TSM_SSN_SCHEDULER_HH

@@ -116,5 +116,74 @@ TEST(Cli, UsageListsFlags)
     EXPECT_NE(u.find("does the thing"), std::string::npos);
 }
 
+TEST(Cli, ListFlagSplitsOnCommas)
+{
+    std::vector<std::string> items;
+    CliParser cli("prog");
+    cli.addList("--skip", &items);
+    Argv a({"prog", "--skip=alpha,beta,gamma"});
+    EXPECT_TRUE(cli.parse(a.argc, a.argv()));
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0], "alpha");
+    EXPECT_EQ(items[1], "beta");
+    EXPECT_EQ(items[2], "gamma");
+}
+
+TEST(Cli, ListFlagSingleItem)
+{
+    std::vector<std::string> items;
+    CliParser cli("prog");
+    cli.addList("--skip", &items);
+    Argv a({"prog", "--skip=only"});
+    EXPECT_TRUE(cli.parse(a.argc, a.argv()));
+    ASSERT_EQ(items.size(), 1u);
+    EXPECT_EQ(items[0], "only");
+    EXPECT_EQ(a.argc, 1);
+}
+
+TEST(Cli, ListFlagRequiresInlineValue)
+{
+    // House style: value flags take --flag=value, never a separate
+    // argument; list flags follow it.
+    std::vector<std::string> items;
+    CliParser cli("prog");
+    cli.addList("--skip", &items);
+    Argv a({"prog", "--skip", "only"});
+    EXPECT_FALSE(cli.parse(a.argc, a.argv()));
+}
+
+TEST(Cli, ListFlagRepeatsAppend)
+{
+    std::vector<std::string> items;
+    CliParser cli("prog");
+    cli.addList("--skip", &items);
+    Argv a({"prog", "--skip=a,b", "--skip=c"});
+    EXPECT_TRUE(cli.parse(a.argc, a.argv()));
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[2], "c");
+}
+
+TEST(Cli, ListFlagRejectsEmptyItems)
+{
+    for (const char *bad : {"--skip=a,,b", "--skip=a,", "--skip=,a",
+                            "--skip="}) {
+        std::vector<std::string> items;
+        CliParser cli("prog");
+        cli.addList("--skip", &items);
+        Argv a({"prog", bad});
+        EXPECT_FALSE(cli.parse(a.argc, a.argv())) << bad;
+    }
+}
+
+TEST(Cli, ListFlagUsageShowsListForm)
+{
+    std::vector<std::string> items;
+    CliParser cli("prog");
+    cli.addList("--skip", &items, "what to skip");
+    const std::string u = cli.usage();
+    EXPECT_NE(u.find("--skip=A,B,..."), std::string::npos);
+    EXPECT_NE(u.find("what to skip"), std::string::npos);
+}
+
 } // namespace
 } // namespace tsm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Property tests over the scenario generator (ISSUE satellite): for
+ * 200 consecutive seeds, every generated scenario validates, stays
+ * within its declared topology's bounds, and round-trips through the
+ * canonical serializer byte-identically. Plus: the generator itself
+ * is a pure function of its seed, and every shrink candidate it
+ * offers the fuzzer is itself valid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/generator.hh"
+#include "scenario/scenario.hh"
+
+namespace tsm {
+namespace {
+
+constexpr std::uint64_t kSeeds = 200;
+
+TEST(ScenarioProperties, GeneratedScenariosValidate)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const Scenario sc = generateScenario(seed);
+        std::string error;
+        EXPECT_TRUE(validateScenario(sc, &error))
+            << "seed " << seed << ": " << error;
+    }
+}
+
+TEST(ScenarioProperties, GeneratedScenariosRespectTopologyBounds)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const Scenario sc = generateScenario(seed);
+        const Topology topo = sc.topology.build();
+        const unsigned n = topo.numTsps();
+        for (const ScenarioFlow &f : sc.flows) {
+            EXPECT_LT(f.src, n) << "seed " << seed;
+            EXPECT_LT(f.dst, n) << "seed " << seed;
+            EXPECT_NE(f.src, f.dst) << "seed " << seed;
+            EXPECT_GE(f.tensor.vectors, 1u) << "seed " << seed;
+            EXPECT_NE(f.id, 0u) << "seed " << seed;
+        }
+        for (const ScenarioCollective &c : sc.collectives) {
+            EXPECT_LT(c.root, n) << "seed " << seed;
+            EXPECT_GE(c.vectors, 1u) << "seed " << seed;
+        }
+        for (const ScenarioPattern &p : sc.patterns)
+            EXPECT_GE(p.vectors, 1u) << "seed " << seed;
+    }
+}
+
+TEST(ScenarioProperties, GeneratedScenariosRoundTripByteIdentically)
+{
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const Scenario sc = generateScenario(seed);
+        const std::string text = dumpScenario(sc);
+        Scenario reparsed;
+        std::string error;
+        ASSERT_TRUE(parseScenario(text, reparsed, &error))
+            << "seed " << seed << ": " << error;
+        EXPECT_EQ(dumpScenario(reparsed), text) << "seed " << seed;
+    }
+}
+
+TEST(ScenarioProperties, GeneratorIsAPureFunctionOfItsSeed)
+{
+    for (std::uint64_t seed = 1; seed <= 32; ++seed)
+        EXPECT_EQ(dumpScenario(generateScenario(seed)),
+                  dumpScenario(generateScenario(seed)))
+            << "seed " << seed;
+}
+
+TEST(ScenarioProperties, GeneratorHonorsConfigCeilings)
+{
+    FuzzConfig cfg;
+    cfg.maxFlows = 3;
+    cfg.maxVectors = 4;
+    cfg.allowCollectives = false;
+    cfg.allowPatterns = false;
+    cfg.allowMbe = false;
+    cfg.allowBackground = false;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        const Scenario sc = generateScenario(seed, cfg);
+        EXPECT_LE(sc.flows.size(), 3u) << "seed " << seed;
+        EXPECT_TRUE(sc.collectives.empty()) << "seed " << seed;
+        EXPECT_TRUE(sc.patterns.empty()) << "seed " << seed;
+        EXPECT_EQ(sc.mbe, 0.0) << "seed " << seed;
+        for (const ScenarioFlow &f : sc.flows) {
+            EXPECT_EQ(f.role, FlowRole::Foreground) << "seed " << seed;
+            if (!f.tensor.hasShape)
+                EXPECT_LE(f.tensor.vectors, 4u) << "seed " << seed;
+        }
+    }
+}
+
+TEST(ScenarioProperties, ShrinkCandidatesAreAlwaysValidAndSmaller)
+{
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        const Scenario sc = generateScenario(seed);
+        const std::string original = dumpScenario(sc);
+        for (const Scenario &candidate : shrinkCandidates(sc)) {
+            std::string error;
+            EXPECT_TRUE(validateScenario(candidate, &error))
+                << "seed " << seed << ": " << error;
+            EXPECT_NE(dumpScenario(candidate), original)
+                << "seed " << seed
+                << ": shrink candidate equals its parent";
+        }
+    }
+}
+
+} // namespace
+} // namespace tsm

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * tsm_fuzz — seeded scenario fuzzer asserting the determinism
+ * invariants the paper's software-scheduled network promises.
+ *
+ * For every seed in [--seed, --seed + --cases) it generates a random
+ * valid scenario (src/scenario/generator.hh) and checks:
+ *
+ *   roundtrip  parse -> serialize -> parse is byte-stable: the
+ *              canonical document re-parses to the same canonical
+ *              document;
+ *   journal    two executions of the scenario produce byte-identical
+ *              tsm-journal-v1 streams — the same-seed reproducibility
+ *              claim, per generated scenario instead of per bench;
+ *   waterfall  every transfer's serialize + flight + forward + wait
+ *              stages sum *exactly* to its observed latency, every
+ *              span closes, and the span count equals the vectors
+ *              moved.
+ *
+ * On a failure the scenario is greedily shrunk (re-testing candidate
+ * simplifications until none still fails) and the minimal reproducer
+ * is saved as a scenario JSON file: re-run it with
+ * `tsm_fuzz --replay=FILE`, or feed the two journals of a journal
+ * failure to tools/tsm_diverge for first-divergence triage.
+ *
+ * Exit codes: 0 all cases pass, 1 any invariant failed (reproducer
+ * saved), 2 usage error.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "scenario/generator.hh"
+#include "scenario/runner.hh"
+#include "scenario/scenario.hh"
+
+using namespace tsm;
+
+namespace {
+
+struct Invariants
+{
+    bool roundtrip = true;
+    bool journal = true;
+    bool waterfall = true;
+};
+
+/** First failing invariant's name, or nullptr when all hold. */
+const char *
+check(const Scenario &sc, const Invariants &which)
+{
+    if (which.roundtrip) {
+        const std::string text = dumpScenario(sc);
+        Scenario reparsed;
+        std::string error;
+        if (!parseScenario(text, reparsed, &error))
+            return "roundtrip";
+        if (dumpScenario(reparsed) != text)
+            return "roundtrip";
+    }
+
+    if (which.journal || which.waterfall) {
+        const ScenarioExecution first = executeScenario(sc);
+        if (which.waterfall &&
+            (!first.allSpansClosed() || !first.waterfallsExact()))
+            return "waterfall";
+        if (which.journal) {
+            const ScenarioExecution second = executeScenario(sc);
+            if (first.journal.empty() ||
+                first.journal != second.journal)
+                return "journal";
+        }
+    }
+    return nullptr;
+}
+
+/** Greedily shrink `sc` while `failed` still fails. */
+Scenario
+shrink(Scenario sc, const char *failed, const Invariants &which,
+       unsigned *rounds)
+{
+    Invariants only;
+    only.roundtrip = which.roundtrip &&
+                     std::string(failed) == "roundtrip";
+    only.journal = which.journal && std::string(failed) == "journal";
+    only.waterfall = which.waterfall &&
+                     std::string(failed) == "waterfall";
+
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        for (Scenario &candidate : shrinkCandidates(sc)) {
+            const char *still = check(candidate, only);
+            if (still && std::string(still) == failed) {
+                sc = std::move(candidate);
+                ++*rounds;
+                shrunk = true;
+                break;
+            }
+        }
+    }
+    return sc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seed = 1;
+    unsigned cases = 100;
+    FuzzConfig cfg;
+    std::uint64_t maxVectors = cfg.maxVectors;
+    std::vector<std::string> skip;
+    std::string save = ".";
+    std::string replay;
+    std::string emit;
+    bool keepGoing = false;
+    bool quiet = false;
+
+    CliParser cli("tsm_fuzz");
+    cli.addValue("--seed", &seed, "first generator seed (default 1)");
+    cli.addValue("--cases", &cases,
+                 "number of consecutive seeds to run (default 100)");
+    cli.addValue("--max-flows", &cfg.maxFlows,
+                 "explicit-flow bound per scenario (default 10)");
+    cli.addValue("--max-vectors", &maxVectors,
+                 "tensor-size bound in vectors (default 48)");
+    cli.addList("--skip-invariant", &skip,
+                "invariants to skip: roundtrip,journal,waterfall");
+    cli.addValue("--save", &save,
+                 "directory for shrunk reproducers (default .)");
+    cli.addValue("--replay", &replay,
+                 "check one scenario file instead of generating");
+    cli.addValue("--emit", &emit,
+                 "write the scenario for --seed to FILE and exit");
+    cli.addFlag("--keep-going", &keepGoing,
+                "test every case even after a failure");
+    cli.addFlag("--quiet", &quiet, "only report failures and totals");
+    if (!cli.parse(argc, argv))
+        return 2;
+    cfg.maxVectors = std::uint32_t(maxVectors);
+
+    Invariants which;
+    for (const std::string &s : skip) {
+        if (s == "roundtrip")
+            which.roundtrip = false;
+        else if (s == "journal")
+            which.journal = false;
+        else if (s == "waterfall")
+            which.waterfall = false;
+        else {
+            std::fprintf(stderr,
+                         "tsm_fuzz: unknown invariant \"%s\" (known: "
+                         "roundtrip, journal, waterfall)\n",
+                         s.c_str());
+            return 2;
+        }
+    }
+    if (!which.roundtrip && !which.journal && !which.waterfall) {
+        std::fprintf(stderr,
+                     "tsm_fuzz: every invariant skipped — nothing to "
+                     "check\n");
+        return 2;
+    }
+
+    if (!emit.empty()) {
+        const Scenario sc = generateScenario(seed, cfg);
+        std::string error;
+        if (!saveScenarioFile(emit, sc, &error)) {
+            std::fprintf(stderr, "tsm_fuzz: %s\n", error.c_str());
+            return 2;
+        }
+        std::printf("wrote %s (seed %llu: %zu flows, %zu collectives, "
+                    "%zu patterns)\n",
+                    emit.c_str(), (unsigned long long)seed,
+                    sc.flows.size(), sc.collectives.size(),
+                    sc.patterns.size());
+        return 0;
+    }
+
+    if (!replay.empty()) {
+        Scenario sc;
+        std::string error;
+        if (!loadScenarioFile(replay, sc, &error)) {
+            std::fprintf(stderr, "tsm_fuzz: %s\n", error.c_str());
+            return 2;
+        }
+        const char *failed = check(sc, which);
+        if (failed) {
+            std::printf("%s: FAIL (%s invariant)\n", replay.c_str(),
+                        failed);
+            return 1;
+        }
+        std::printf("%s: ok\n", replay.c_str());
+        return 0;
+    }
+
+    unsigned failures = 0;
+    for (unsigned i = 0; i < cases; ++i) {
+        const std::uint64_t s = seed + i;
+        const Scenario sc = generateScenario(s, cfg);
+        const char *failed = check(sc, which);
+        if (!failed) {
+            if (!quiet)
+                std::printf("seed %llu: ok (%zu flows)\n",
+                            (unsigned long long)s, sc.flows.size());
+            continue;
+        }
+
+        ++failures;
+        unsigned rounds = 0;
+        const Scenario minimal = shrink(sc, failed, which, &rounds);
+        const std::string path = save + "/tsm_fuzz_repro_seed" +
+                                 std::to_string(s) + ".json";
+        std::string error;
+        if (!saveScenarioFile(path, minimal, &error))
+            std::fprintf(stderr, "tsm_fuzz: %s\n", error.c_str());
+        std::printf("seed %llu: FAIL (%s invariant) — shrunk %u "
+                    "rounds to %zu flows, reproducer saved to %s\n",
+                    (unsigned long long)s, failed, rounds,
+                    minimal.flows.size(), path.c_str());
+        if (!keepGoing)
+            break;
+    }
+
+    std::printf("tsm_fuzz: %u case%s, %u failure%s\n",
+                cases, cases == 1 ? "" : "s", failures,
+                failures == 1 ? "" : "s");
+    return failures ? 1 : 0;
+}
