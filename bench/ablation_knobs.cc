@@ -16,8 +16,10 @@
 #include "baseline/hw_router.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "hostprof/hostprof.hh"
 #include "ssn/scheduler.hh"
 #include "sync/hac_aligner.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
@@ -49,13 +51,14 @@ pathCapAblation()
 }
 
 void
-hacRateAblation()
+hacRateAblation(HostProfiler *hp)
 {
     std::printf("2. HAC adjustment rate vs convergence (child starts "
                 "120 cycles off):\n");
     Table table({"max adjust/update", "epochs to converge"});
     for (int rate : {1, 2, 4, 8, 16, 32}) {
         EventQueue eq;
+        eq.setHostProfiler(hp);
         Topology topo = Topology::makeNode();
         Network net(topo, eq, Rng(4));
         TspChip parent(0, net, DriftClock());
@@ -86,7 +89,7 @@ hacRateAblation()
 }
 
 void
-bufferDepthAblation()
+bufferDepthAblation(HostProfiler *hp)
 {
     std::printf("3. baseline router buffer depth under incast (7 -> 1, "
                 "ring node):\n");
@@ -94,6 +97,7 @@ bufferDepthAblation()
     for (unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
         const Topology topo = Topology::makeNode(NodeWiring::TripleRing);
         EventQueue eq;
+        eq.setHostProfiler(hp);
         HwRoutedNetwork hw(topo, eq, Rng(9),
                            {HwRouting::ObliviousMinimal, depth});
         for (TspId s = 1; s < 8; ++s)
@@ -140,7 +144,7 @@ extraHopsAblation()
 }
 
 void
-vcAblation()
+vcAblation(HostProfiler *hp)
 {
     std::printf("5. virtual channels on the ring torus (§4.4): every "
                 "TSP sends 3 hops clockwise:\n");
@@ -150,6 +154,7 @@ vcAblation()
         for (unsigned depth : {1u, 4u}) {
             const Topology ring = Topology::makeRing(8);
             EventQueue eq;
+            eq.setHostProfiler(hp);
             HwConfig cfg;
             cfg.routing = HwRouting::DeterministicMinimal;
             cfg.queueDepth = depth;
@@ -176,16 +181,21 @@ vcAblation()
 int
 main(int argc, char **argv)
 {
+    TraceOptions opts;
     CliParser cli("ablation_knobs");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("ablation_knobs", 0);
 
     std::printf("=== Ablations of DESIGN.md design choices ===\n\n");
     pathCapAblation();
-    hacRateAblation();
-    bufferDepthAblation();
+    hacRateAblation(session.hostprof());
+    bufferDepthAblation(session.hostprof());
     extraHopsAblation();
     std::printf("\n");
-    vcAblation();
+    vcAblation(session.hostprof());
+    session.finish();
     return 0;
 }

@@ -11,15 +11,22 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/lstm.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("ext_lstm_decode");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("ext_lstm_decode", 0);
 
     std::printf("=== Extension: batch-1 LSTM decode (256 timesteps) "
                 "===\n\n");
@@ -51,5 +58,6 @@ main(int argc, char **argv)
                 "pipeline keeps its matrix unit streaming — the "
                 "strong-scaling (\"capability\")\nregime the paper's "
                 "introduction frames the whole system around.\n");
+    session.finish();
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "runtime/runtime.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
@@ -43,9 +44,15 @@ ringWork(const Topology &, const std::vector<TspId> &active)
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("ext_reliability_scale");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("ext_reliability_scale", 0);
 
     std::printf("=== Extension: replay overhead vs scale and error "
                 "rate (§4.5) ===\n\n");
@@ -101,5 +108,6 @@ main(int argc, char **argv)
                 "overhead\n",
                 inferences, total_attempts,
                 (double(total_attempts) / inferences - 1.0) * 100.0);
+    session.finish();
     return 0;
 }

@@ -12,15 +12,22 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/matmul.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("ext_scaling_duality");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("ext_scaling_duality", 0);
 
     const TspCostModel cost;
 
@@ -65,5 +72,6 @@ main(int argc, char **argv)
                 "throughput flat — the two regimes the Dragonfly's\n"
                 "flat global bandwidth is built to serve "
                 "simultaneously (paper §1).\n");
+    session.finish();
     return 0;
 }

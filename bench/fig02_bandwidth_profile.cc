@@ -11,6 +11,7 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "net/topology.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
@@ -48,9 +49,15 @@ row(Table &table, const Topology &topo)
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("fig02_bandwidth_profile");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("fig02_bandwidth_profile", 0);
 
     std::printf("=== Fig 2: global bandwidth profile per TSP ===\n\n");
     Table table({"TSPs", "level", "local GB/s", "global GB/s",
@@ -87,5 +94,6 @@ main(int argc, char **argv)
                 "5-hop route;\n%.2f us worst case over this library's "
                 "constructed wiring (%u-hop diameter)\n",
                 ideal_us, measured_us, max.diameter());
+    session.finish();
     return 0;
 }

@@ -52,6 +52,9 @@ main(int argc, char **argv)
                          HwRouting::ObliviousMinimal,
                          HwRouting::AdaptiveMinimal}) {
         EventQueue eq;
+        // The host profiler spans all phases (runs accumulate): the
+        // hardware-routed loops are where router_hop events come from.
+        eq.setHostProfiler(session.hostprof());
         HwRoutedNetwork hw(topo, eq, Rng(5), {routing, 8});
         hw.inject(1, 0, 2, kVectors, 0);
         hw.inject(2, 1, 2, kVectors, 0);
@@ -103,6 +106,7 @@ main(int argc, char **argv)
     // enforced, not asserted.
     EventQueue eq;
     session.attach(eq.tracer());
+    eq.setHostProfiler(session.hostprof());
     traceSchedule(eq.tracer(), schedule);
     Network net(topo, eq, Rng(6));
     std::vector<std::unique_ptr<TspChip>> chips;

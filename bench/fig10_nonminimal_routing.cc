@@ -15,6 +15,7 @@
 #include "common/table.hh"
 #include "ssn/scheduler.hh"
 #include "ssn/spread.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
@@ -36,9 +37,15 @@ nodePaths(unsigned nonminimal)
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("fig10_nonminimal_routing");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("fig10_nonminimal_routing", 0);
 
     std::printf("=== Fig 10: benefit of non-minimal routing vs message "
                 "size and path count ===\n\n");
@@ -101,5 +108,6 @@ main(int argc, char **argv)
                     sched.flows.at(1).pathsUsed,
                     node.linksBetween(0, 1).size());
     }
+    session.finish();
     return 0;
 }

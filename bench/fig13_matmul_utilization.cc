@@ -11,15 +11,22 @@
 #include "baseline/gpu_matmul.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("fig13_matmul_utilization");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("fig13_matmul_utilization", 0);
 
     std::printf("=== Fig 13: [2304x4096][4096xN] utilization, TSP vs "
                 "A100 ===\n\n");
@@ -47,5 +54,6 @@ main(int argc, char **argv)
     std::printf("A100 swings between %.1f%% and %.1f%% with the "
                 "tile/wave sawtooth\n",
                 gpu_min * 100, gpu_max * 100);
+    session.finish();
     return 0;
 }

@@ -11,15 +11,22 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/matmul.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("fig15_matmul_clusters");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("fig15_matmul_clusters", 0);
 
     std::printf("=== Fig 15: NxN matmul on 100/200/300-TSP clusters "
                 "===\n\n");
@@ -47,5 +54,6 @@ main(int argc, char **argv)
     std::printf("column-wise splits avoid partial-product reductions "
                 "entirely: throughput\nscales linearly in cluster size "
                 "and rises with N as tile quantization fades.\n");
+    session.finish();
     return 0;
 }

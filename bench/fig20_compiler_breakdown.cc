@@ -12,6 +12,7 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "workload/bert.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
@@ -50,9 +51,15 @@ breakdown(const char *title, const BertEstimate &est)
 int
 main(int argc, char **argv)
 {
+    // Analytic bench: the trace flags are accepted for harness
+    // uniformity; --hostprof reports an honest zero-event run.
+    TraceOptions opts;
     CliParser cli("fig20_compiler_breakdown");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("fig20_compiler_breakdown", 0);
 
     std::printf("=== Fig 20: BERT-Large on 4 TSPs, unoptimized vs "
                 "optimized compiler ===\n\n");
@@ -71,5 +78,6 @@ main(int argc, char **argv)
     std::printf("optimized / unoptimized = %.1f%% realized-throughput "
                 "improvement (paper: ~26%%)\n",
                 (opt.realizedTops / naive.realizedTops - 1.0) * 100.0);
+    session.finish();
     return 0;
 }

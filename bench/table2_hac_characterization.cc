@@ -12,21 +12,28 @@
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "sync/link_characterizer.hh"
+#include "trace/session.hh"
 
 using namespace tsm;
 
 int
 main(int argc, char **argv)
 {
+    TraceOptions opts;
     CliParser cli("table2_hac_characterization");
+    opts.registerFlags(cli);
     if (!cli.parse(argc, argv))
         return 2;
+    TraceSession session(std::move(opts));
+    session.setRun("table2_hac_characterization", 20260706);
 
     std::printf("=== Table 2: HAC latency characterization "
                 "(100K iterations per link) ===\n\n");
 
     const Topology topo = Topology::makeNode();
     EventQueue eq;
+    session.attach(eq.tracer());
+    eq.setHostProfiler(session.hostprof());
     Network net(topo, eq, Rng(20260706), /*jitter=*/true);
     Rng drift(7);
     std::vector<std::unique_ptr<TspChip>> chips;
@@ -53,5 +60,6 @@ main(int argc, char **argv)
     std::printf("%s\n", table.ascii().c_str());
     std::printf("paper Table 2: min 209-211, mean 216.3-217.4, max "
                 "225-228, std 2.63-2.93\n");
+    session.finish();
     return 0;
 }

@@ -99,7 +99,8 @@ TspChip::start(Tick at)
 void
 TspChip::scheduleIssue(Tick t)
 {
-    eventq().schedule(t, [this] { issue(); });
+    eventq().schedule(t, [this] { issue(); }, kSpanNone,
+                      EventKind::ChipIssue);
 }
 
 void

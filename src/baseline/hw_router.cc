@@ -87,15 +87,18 @@ HwRoutedNetwork::inject(FlowId flow, TspId src, TspId dst,
     const Tick ser = Tick(kVectorSerializationPs);
     for (std::uint32_t v = 0; v < vectors; ++v) {
         const Tick t = when + v * ser; // line-rate source
-        eventq_->schedule(t, [this, flow, v, src, dst, t] {
-            Packet pkt;
-            pkt.flow = flow;
-            pkt.seq = v;
-            pkt.dst = dst;
-            pkt.injected = t;
-            routers_[src].injection.push_back(pkt);
-            kick(src);
-        });
+        eventq_->schedule(
+            t,
+            [this, flow, v, src, dst, t] {
+                Packet pkt;
+                pkt.flow = flow;
+                pkt.seq = v;
+                pkt.dst = dst;
+                pkt.injected = t;
+                routers_[src].injection.push_back(pkt);
+                kick(src);
+            },
+            kSpanNone, EventKind::RouterHop);
     }
 }
 
@@ -194,19 +197,25 @@ HwRoutedNetwork::tryForward(TspId router, LinkId out)
             TSM_ASSERT(in_link.has_value(), "input slot without a link");
             const TspId upstream = topo_->links()[*in_link].peer(router);
             const unsigned up_port = topo_->links()[*in_link].portAt(upstream);
-            eventq_->schedule(depart + prop,
-                              [this, upstream, up_port, prev_vc] {
-                ++routers_[upstream].credits[pv(up_port, prev_vc)];
-                kick(upstream);
-            });
+            eventq_->schedule(
+                depart + prop,
+                [this, upstream, up_port, prev_vc] {
+                    ++routers_[upstream].credits[pv(up_port, prev_vc)];
+                    kick(upstream);
+                },
+                kSpanNone, EventKind::RouterHop);
         }
 
-        eventq_->schedule(depart + ser + prop,
-                          [this, next, out, pkt] { arrive(next, out, pkt); });
+        eventq_->schedule(
+            depart + ser + prop,
+            [this, next, out, pkt] { arrive(next, out, pkt); },
+            kSpanNone, EventKind::RouterHop);
 
         // This output is busy now; re-evaluate the whole router when
         // it frees (a new head may prefer a different output).
-        eventq_->schedule(depart + ser, [this, router] { kick(router); });
+        eventq_->schedule(
+            depart + ser, [this, router] { kick(router); }, kSpanNone,
+            EventKind::RouterHop);
         return;
     }
 }

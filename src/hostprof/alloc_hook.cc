@@ -1,0 +1,187 @@
+#include "hostprof/alloc_hook.hh"
+
+#include <cstdlib>
+#include <new>
+
+namespace tsm {
+namespace hostalloc {
+namespace {
+
+thread_local bool tArmed = false;
+thread_local Counters tCounters;
+
+} // namespace
+
+bool
+hookCompiledIn()
+{
+#ifdef TSM_HOSTPROF_ALLOC_HOOK
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+setArmed(bool armed)
+{
+    const bool prev = tArmed;
+    tArmed = armed;
+    return prev;
+}
+
+Counters
+snapshot()
+{
+    return tCounters;
+}
+
+#ifdef TSM_HOSTPROF_ALLOC_HOOK
+namespace {
+
+void *
+countedAlloc(std::size_t size)
+{
+    // malloc(0) may return nullptr legally; operator new must not.
+    void *p = std::malloc(size ? size : 1);
+    if (tArmed && p) {
+        ++tCounters.allocs;
+        tCounters.bytes += size;
+    }
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    void *p = std::aligned_alloc(align, (size + align - 1) / align * align);
+    if (tArmed && p) {
+        ++tCounters.allocs;
+        tCounters.bytes += size;
+    }
+    return p;
+}
+
+} // namespace
+#endif // TSM_HOSTPROF_ALLOC_HOOK
+
+} // namespace hostalloc
+} // namespace tsm
+
+#ifdef TSM_HOSTPROF_ALLOC_HOOK
+
+// Global replacement of the allocation functions ([new.delete] allows
+// a program to define all of these). Every variant funnels through
+// malloc/free, so mixing variants (sized delete for unsized new,
+// array for scalar) stays well-defined. Sanitizer builds intercept
+// malloc/free underneath, so leak checking keeps working.
+
+void *
+operator new(std::size_t size)
+{
+    void *p = tsm::hostalloc::countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = tsm::hostalloc::countedAlloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return tsm::hostalloc::countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return tsm::hostalloc::countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = tsm::hostalloc::countedAlignedAlloc(size, std::size_t(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = tsm::hostalloc::countedAlignedAlloc(size, std::size_t(align));
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+#endif // TSM_HOSTPROF_ALLOC_HOOK

@@ -1,0 +1,5 @@
+tsm_module(hostprof
+    hostprof.cc
+    render.cc
+    alloc_hook.cc
+)

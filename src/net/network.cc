@@ -141,7 +141,7 @@ Network::deliver(const Link &link, TspId src, LinkId l, Flit flit,
             else
                 rx_[dst][dst_port].fifo.push_back(af);
         },
-        span);
+        span, EventKind::NetDeliver);
 }
 
 Tick

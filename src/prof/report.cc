@@ -7,6 +7,7 @@
 
 #include "common/format.hh"
 #include "common/table.hh"
+#include "hostprof/hostprof.hh"
 #include "telemetry/phase.hh"
 
 namespace tsm {
@@ -297,7 +298,7 @@ pct(const Json &fraction)
 } // namespace
 
 std::string
-renderProfileSummary(const Json &report, unsigned top_k)
+renderProfileSummary(const Json &report, unsigned top_k, const Json *host)
 {
     std::string out;
     const std::string bench =
@@ -474,6 +475,7 @@ renderProfileSummary(const Json &report, unsigned top_k)
             out += t.ascii();
         }
     }
+    out += "\n" + renderHostRateLine(host);
     return out;
 }
 

@@ -87,8 +87,14 @@ class ProfileCollector
  * queue-delay percentiles, HAC telemetry, and the SSN critical-path
  * breakdown. Accepts any "tsm-profile-v1" document, whether built
  * in-process or parsed back from a BENCH_*.json file.
+ *
+ * `host` is an optional companion "tsm-hostprof-v1" document; when
+ * given, a wall-clock/sim-rate footer is appended. It is deliberately
+ * NOT part of `report` — profile reports must stay byte-identical
+ * whether or not host profiling ran.
  */
-std::string renderProfileSummary(const Json &report, unsigned top_k = 5);
+std::string renderProfileSummary(const Json &report, unsigned top_k = 5,
+                                 const Json *host = nullptr);
 
 /**
  * Serialize `report` to `path` (pretty-printed, trailing newline).

@@ -15,7 +15,8 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
                      const std::vector<TensorTransfer> &transfers,
                      const std::string &bench, std::uint64_t seed,
                      double mbe, SsnConfig ssn,
-                     const std::vector<TraceSink *> &extraSinks)
+                     const std::vector<TraceSink *> &extraSinks,
+                     HostProfiler *hostprof)
 {
     TracedScenarioResult result;
 
@@ -27,6 +28,7 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
 
     EventQueue eq;
     session.attach(eq.tracer());
+    eq.setHostProfiler(hostprof ? hostprof : session.hostprof());
     for (TraceSink *sink : extraSinks)
         eq.tracer().addSink(sink);
     traceSchedule(eq.tracer(), result.schedule);

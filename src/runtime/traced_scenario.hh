@@ -48,14 +48,18 @@ struct TracedScenarioResult
  * scheduler policy; `extraSinks` are attached to the run's tracer for
  * its duration and finish()ed before returning — the hook the
  * scenario fuzzer uses to capture journals and waterfalls without
- * going through files.
+ * going through files. `hostprof` overrides the session's own host
+ * profiler (session.hostprof() is used when null) — the event queue
+ * reports its wall-clock attribution there for the duration of the
+ * run.
  */
 TracedScenarioResult
 runScheduledScenario(TraceSession &session, const Topology &topo,
                      const std::vector<TensorTransfer> &transfers,
                      const std::string &bench, std::uint64_t seed,
                      double mbe = 0.0, SsnConfig ssn = {},
-                     const std::vector<TraceSink *> &extraSinks = {});
+                     const std::vector<TraceSink *> &extraSinks = {},
+                     HostProfiler *hostprof = nullptr);
 
 } // namespace tsm
 

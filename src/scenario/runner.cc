@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "hostprof/hostprof.hh"
 #include "prof/report.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/timeline.hh"
@@ -75,7 +76,7 @@ ScenarioExecution::waterfallsExact() const
 
 ScenarioExecution
 executeScenario(const Scenario &scenario,
-                const ScenarioOverrides &overrides)
+                const ScenarioOverrides &overrides, HostProfiler *hostprof)
 {
     const std::uint64_t seed = overrides.seed.value_or(scenario.seed);
     const double mbe = overrides.mbe.value_or(scenario.mbe);
@@ -87,10 +88,14 @@ executeScenario(const Scenario &scenario,
     JournalSink journal(journalText);
     ProfilerSink profiler;
 
+    if (hostprof) {
+        hostprof->setBench(scenario.name);
+        hostprof->setSeed(seed);
+    }
     TraceSession inactive;
     const TracedScenarioResult traced = runScheduledScenario(
         inactive, topo, lowered.transfers, scenario.name, seed, mbe,
-        scenario.ssn, {&journal, &profiler});
+        scenario.ssn, {&journal, &profiler}, hostprof);
 
     ScenarioExecution exec;
     exec.journal = journalText.str();

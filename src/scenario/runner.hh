@@ -89,10 +89,14 @@ struct ScenarioExecution
 /**
  * Execute `scenario` headless, capturing the journal and waterfalls.
  * Deterministic: equal scenarios and overrides produce byte-identical
- * journals — the invariant tools/tsm_fuzz asserts.
+ * journals — the invariant tools/tsm_fuzz asserts. `hostprof`, when
+ * given, observes the run's event queue (the fuzzer's --stats path);
+ * it never influences the simulation, so the journal is identical
+ * with and without it.
  */
 ScenarioExecution executeScenario(const Scenario &scenario,
-                                  const ScenarioOverrides &overrides = {});
+                                  const ScenarioOverrides &overrides = {},
+                                  HostProfiler *hostprof = nullptr);
 
 } // namespace tsm
 

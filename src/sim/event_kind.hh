@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Host-side classification of scheduled events.
+ *
+ * Every callback handed to the EventQueue carries an `EventKind` tag
+ * naming the subsystem it belongs to — chip instruction issue, flit
+ * delivery, HAC alignment rounds, characterizer probes, baseline
+ * router hops. The tag has no effect on simulated behavior; it exists
+ * purely so the host-side self-profiler (src/hostprof) can attribute
+ * *wall-clock* time per event kind and answer "where does the
+ * simulator itself spend its time?" — the measurement that gates any
+ * future event-queue optimization claim.
+ */
+
+#ifndef TSM_SIM_EVENT_KIND_HH
+#define TSM_SIM_EVENT_KIND_HH
+
+#include <cstdint>
+
+namespace tsm {
+
+/** Subsystem a scheduled event's callback belongs to. */
+enum class EventKind : std::uint8_t
+{
+    Generic,    ///< untagged callbacks (tests, ad-hoc harness events)
+    ChipIssue,  ///< TSP instruction issue/step (arch/chip)
+    NetDeliver, ///< flit delivery at the end of a link leg (net)
+    HacUpdate,  ///< periodic HAC alignment round (sync/hac_aligner)
+    SyncProbe,  ///< link characterizer echo probes (sync)
+    RouterHop,  ///< baseline hardware-router arbitration/hops
+};
+
+inline constexpr unsigned kNumEventKinds = 6;
+
+/** Short lowercase name ("chip_issue", "net_deliver", ...). */
+constexpr const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Generic:
+        return "generic";
+      case EventKind::ChipIssue:
+        return "chip_issue";
+      case EventKind::NetDeliver:
+        return "net_deliver";
+      case EventKind::HacUpdate:
+        return "hac_update";
+      case EventKind::SyncProbe:
+        return "sync_probe";
+      case EventKind::RouterHop:
+        return "router_hop";
+    }
+    return "?";
+}
+
+} // namespace tsm
+
+#endif // TSM_SIM_EVENT_KIND_HH

@@ -1,26 +1,36 @@
 #include "sim/event_queue.hh"
 
 #include "common/log.hh"
+#include "hostprof/hostprof.hh"
 
 namespace tsm {
 
 void
-EventQueue::schedule(Tick when, Callback fn, SpanId span)
+EventQueue::schedule(Tick when, Callback fn, SpanId span, EventKind kind)
 {
     TSM_ASSERT(when >= now_, "cannot schedule an event in the past");
-    heap_.push(Entry{when, nextSeq_++, std::move(fn), span});
+    if (hostprof_) {
+        const bool timed = hostprof_->insertSampleBegin();
+        heap_.push(Entry{when, nextSeq_++, std::move(fn), span, kind});
+        hostprof_->insertEnd(heap_.size(), timed);
+        return;
+    }
+    heap_.push(Entry{when, nextSeq_++, std::move(fn), span, kind});
 }
 
 void
-EventQueue::scheduleAfter(Tick delay, Callback fn, SpanId span)
+EventQueue::scheduleAfter(Tick delay, Callback fn, SpanId span,
+                          EventKind kind)
 {
-    schedule(now_ + delay, std::move(fn), span);
+    schedule(now_ + delay, std::move(fn), span, kind);
 }
 
 std::uint64_t
 EventQueue::run(std::uint64_t limit)
 {
     std::uint64_t executed = 0;
+    if (hostprof_)
+        hostprof_->runBegin(now_, heap_.size());
     while (!heap_.empty() && executed < limit) {
         // Copy out before pop so the callback may schedule new events.
         Entry top = std::move(const_cast<Entry &>(heap_.top()));
@@ -29,9 +39,17 @@ EventQueue::run(std::uint64_t limit)
         if (tracer_.wants(TraceCat::Sim))
             tracer_.emit({top.when, 0, TraceCat::Sim, 0, "dispatch",
                           std::int64_t(top.seq), 0, top.span});
-        top.fn();
+        if (hostprof_) {
+            hostprof_->dispatchBegin();
+            top.fn();
+            hostprof_->dispatchEnd(top.kind, now_, heap_.size());
+        } else {
+            top.fn();
+        }
         ++executed;
     }
+    if (hostprof_)
+        hostprof_->runEnd(now_, heap_.size());
     return executed;
 }
 
@@ -39,6 +57,8 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t executed = 0;
+    if (hostprof_)
+        hostprof_->runBegin(now_, heap_.size());
     while (!heap_.empty() && heap_.top().when <= until) {
         Entry top = std::move(const_cast<Entry &>(heap_.top()));
         heap_.pop();
@@ -46,11 +66,19 @@ EventQueue::runUntil(Tick until)
         if (tracer_.wants(TraceCat::Sim))
             tracer_.emit({top.when, 0, TraceCat::Sim, 0, "dispatch",
                           std::int64_t(top.seq), 0, top.span});
-        top.fn();
+        if (hostprof_) {
+            hostprof_->dispatchBegin();
+            top.fn();
+            hostprof_->dispatchEnd(top.kind, now_, heap_.size());
+        } else {
+            top.fn();
+        }
         ++executed;
     }
     if (now_ < until)
         now_ = until;
+    if (hostprof_)
+        hostprof_->runEnd(now_, heap_.size());
     return executed;
 }
 

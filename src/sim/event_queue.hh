@@ -17,9 +17,12 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "sim/event_kind.hh"
 #include "trace/trace.hh"
 
 namespace tsm {
+
+class HostProfiler;
 
 /**
  * A binary-heap event queue. Not thread-safe; the simulator is
@@ -41,12 +44,16 @@ class EventQueue
      * Schedule `fn` to run at absolute time `when` (>= now). `span`
      * tags the dispatch trace event with the causal transfer the
      * callback serves (e.g. a flit delivery), so a divergence in the
-     * dispatch stream itself can be traced back to a transfer.
+     * dispatch stream itself can be traced back to a transfer. `kind`
+     * names the subsystem the callback belongs to — it never affects
+     * execution, only the host profiler's wall-clock attribution.
      */
-    void schedule(Tick when, Callback fn, SpanId span = kSpanNone);
+    void schedule(Tick when, Callback fn, SpanId span = kSpanNone,
+                  EventKind kind = EventKind::Generic);
 
     /** Schedule `fn` to run `delay` picoseconds from now. */
-    void scheduleAfter(Tick delay, Callback fn, SpanId span = kSpanNone);
+    void scheduleAfter(Tick delay, Callback fn, SpanId span = kSpanNone,
+                       EventKind kind = EventKind::Generic);
 
     /**
      * Run events until the queue drains or `limit` events have executed.
@@ -73,6 +80,16 @@ class EventQueue
     Tracer &tracer() { return tracer_; }
     const Tracer &tracer() const { return tracer_; }
 
+    /**
+     * Attach a host-side self-profiler (src/hostprof) measuring
+     * wall-clock attribution, queue telemetry and sim-rate, or detach
+     * with nullptr. Borrowed: detach before destroying the profiler.
+     * With none attached the hooks cost one pointer test per event;
+     * attached or not, simulated behavior is bit-identical.
+     */
+    void setHostProfiler(HostProfiler *hp) { hostprof_ = hp; }
+    HostProfiler *hostProfiler() const { return hostprof_; }
+
   private:
     struct Entry
     {
@@ -80,6 +97,7 @@ class EventQueue
         std::uint64_t seq;
         Callback fn;
         SpanId span;
+        EventKind kind;
     };
 
     struct Later
@@ -95,6 +113,7 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     Tracer tracer_;
+    HostProfiler *hostprof_ = nullptr;
 };
 
 } // namespace tsm

@@ -59,7 +59,8 @@ HacAligner::sendUpdate()
                           std::int64_t(child_.id()), round_span});
     const Tick next = parent_.clock().cycleToTick(
         parent_.localCycle() + config_.updatePeriodCycles);
-    eq.schedule(next, [this] { sendUpdate(); });
+    eq.schedule(next, [this] { sendUpdate(); }, kSpanNone,
+                EventKind::HacUpdate);
 }
 
 void

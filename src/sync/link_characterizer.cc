@@ -39,8 +39,9 @@ LinkCharacterizer::start(unsigned iterations)
     remaining_ = iterations;
     // Begin after a short warmup so both chips' clocks are past their
     // power-up phase offsets (the HAC reads 0 before its first edge).
-    origin_.network().eventq().scheduleAfter(kPsPerUs,
-                                             [this] { sendProbe(); });
+    origin_.network().eventq().scheduleAfter(
+        kPsPerUs, [this] { sendProbe(); }, kSpanNone,
+        EventKind::SyncProbe);
 }
 
 void

@@ -148,6 +148,38 @@ diffProfile(DiffResult &out, const Json &base, const Json &next,
 }
 
 void
+diffHostprof(DiffResult &out, const Json &base, const Json &next,
+             double tol)
+{
+    // The deterministic fields gate hard: two runs of the same binary
+    // on the same scenario must dispatch the same events through the
+    // same queue shape, whatever the machine.
+    comparePath(out, base, next, "events", MetricDirection::Stable, tol);
+    comparePath(out, base, next, "sim_cycles", MetricDirection::Stable,
+                tol);
+    comparePath(out, base, next, "queue.inserts", MetricDirection::Stable,
+                tol);
+    comparePath(out, base, next, "queue.max_depth",
+                MetricDirection::Stable, tol);
+    // The wall-clock-derived rates are the performance gate; they are
+    // directional so a faster simulator never "regresses".
+    comparePath(out, base, next, "sim_rate.events_per_sec",
+                MetricDirection::HigherIsBetter, tol);
+    comparePath(out, base, next, "sim_rate.cycles_per_sec",
+                MetricDirection::HigherIsBetter, tol);
+    comparePath(out, base, next, "sim_rate.slowdown",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "allocs.per_event",
+                MetricDirection::LowerIsBetter, tol);
+    // Raw wall times are machine-dependent context, never a verdict.
+    comparePath(out, base, next, "wall_ns", MetricDirection::Info, tol);
+    comparePath(out, base, next, "sections.queue_ns",
+                MetricDirection::Info, tol);
+    comparePath(out, base, next, "sections.dispatch_ns",
+                MetricDirection::Info, tol);
+}
+
+void
 diffTimeline(DiffResult &out, const Json &base, const Json &next,
              double tol)
 {
@@ -188,6 +220,8 @@ diffReports(const Json &base, const Json &next, double tol)
     }
     if (baseSchema == "tsm-timeline-v1")
         diffTimeline(out, base, next, tol);
+    else if (baseSchema == "tsm-hostprof-v1")
+        diffHostprof(out, base, next, tol);
     else
         diffProfile(out, base, next, tol);
     return out;

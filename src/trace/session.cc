@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "hostprof/hostprof.hh"
 #include "prof/report.hh"
 #include "telemetry/phase.hh"
 #include "telemetry/progress.hh"
@@ -35,6 +36,8 @@ TraceOptions::fromArgs(int &argc, char **argv)
                 unsigned(std::strtoul(arg + 18, nullptr, 10));
         } else if (std::strncmp(arg, "--progress=", 11) == 0) {
             opts.progressMegacycles = std::strtod(arg + 11, nullptr);
+        } else if (std::strncmp(arg, "--hostprof=", 11) == 0) {
+            opts.hostprofPath = arg + 11;
         } else {
             argv[out++] = argv[i];
         }
@@ -61,6 +64,8 @@ TraceOptions::registerFlags(CliParser &parser)
                     "timeline window width in cycles (default 1024)");
     parser.addValue("--progress", &progressMegacycles,
                     "stderr heartbeat every N simulated megacycles");
+    parser.addValue("--hostprof", &hostprofPath,
+                    "write the tsm-hostprof-v1 host profile to FILE");
 }
 
 bool
@@ -68,8 +73,10 @@ TraceOptions::instrumented() const
 {
     return !tracePath.empty() || metrics || digest || !reportPath.empty() ||
            !journalPath.empty() || !timelinePath.empty() ||
-           progressMegacycles > 0;
+           progressMegacycles > 0 || !hostprofPath.empty();
 }
+
+TraceSession::TraceSession() = default;
 
 TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
 {
@@ -88,6 +95,8 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
             Cycle(opts_.timelineWindowCycles));
     if (opts_.progressMegacycles > 0)
         progress_ = std::make_unique<ProgressSink>(opts_.progressMegacycles);
+    if (!opts_.hostprofPath.empty())
+        hostprof_ = std::make_unique<HostProfiler>();
 }
 
 TraceSession::~TraceSession()
@@ -99,7 +108,7 @@ bool
 TraceSession::active() const
 {
     return chrome_ || metricsSink_ || digestSink_ || journal_ ||
-           profile_ || timeline_ || progress_;
+           profile_ || timeline_ || progress_ || hostprof_;
 }
 
 void
@@ -112,6 +121,10 @@ TraceSession::setRun(const std::string &bench, std::uint64_t seed)
     if (timeline_) {
         timeline_->setBench(bench);
         timeline_->setSeed(seed);
+    }
+    if (hostprof_) {
+        hostprof_->setBench(bench);
+        hostprof_->setSeed(seed);
     }
 }
 
@@ -216,15 +229,32 @@ TraceSession::finish()
         if (profile_)
             profile_->setPhases(phasesJson(analysis));
     }
+    // The host profile is a separate document on purpose: the profile
+    // report must stay byte-identical with and without --hostprof, so
+    // the wall-clock footer rides along only in the rendered summary.
+    Json hostReport;
+    if (hostprof_)
+        hostReport = hostprof_->report();
     if (profile_) {
         profile_->sink().finish();
         const Json report = profile_->report();
-        std::printf("%s", renderProfileSummary(report).c_str());
+        std::printf("%s", renderProfileSummary(
+                              report, 5, hostprof_ ? &hostReport : nullptr)
+                              .c_str());
         std::string error;
         if (writeProfileReport(opts_.reportPath, report, &error))
             std::printf("profile: wrote %s\n", opts_.reportPath.c_str());
         else
             std::fprintf(stderr, "profile: %s\n", error.c_str());
+    }
+    if (hostprof_) {
+        if (!profile_)
+            std::printf("%s", renderHostRateLine(&hostReport).c_str());
+        std::string error;
+        if (writeProfileReport(opts_.hostprofPath, hostReport, &error))
+            std::printf("hostprof: wrote %s\n", opts_.hostprofPath.c_str());
+        else
+            std::fprintf(stderr, "hostprof: %s\n", error.c_str());
     }
 }
 

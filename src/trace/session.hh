@@ -16,6 +16,10 @@
  *   --timeline-window=N  window width in cycles (default 1024)
  *   --progress=N   heartbeat: one status line to stderr every N
  *                  simulated megacycles (fractional N allowed)
+ *   --hostprof=FILE  profile the simulator itself (wall-clock per
+ *                  event kind, queue telemetry, sim-rate) and write
+ *                  the tsm-hostprof-v1 document to FILE (render with
+ *                  tools/tsm_hotspot, gate with tools/tsm_bench_diff)
  *
  * A TraceSession owns the sinks the options imply and attaches them to
  * whichever Tracer the harness is currently driving. The tracer is
@@ -37,6 +41,7 @@
 
 namespace tsm {
 
+class HostProfiler;
 class ProfileCollector;
 class ProgressSink;
 class TimelineSampler;
@@ -68,6 +73,9 @@ struct TraceOptions
     /** Heartbeat interval in simulated megacycles; 0 = no heartbeat. */
     double progressMegacycles = 0.0;
 
+    /** Host-profile output path; empty = no host profiling. */
+    std::string hostprofPath;
+
     /**
      * Scan argv for the options above, removing every recognized
      * argument in place (argc is updated) so downstream parsers
@@ -88,7 +96,7 @@ struct TraceOptions
 class TraceSession
 {
   public:
-    TraceSession() = default;
+    TraceSession(); // out of line: members are incomplete types here
     explicit TraceSession(TraceOptions opts);
 
     /** Finishes (writes/prints) if finish() was not called. */
@@ -126,6 +134,15 @@ class TraceSession
     TimelineSampler *timeline() { return timeline_.get(); }
 
     /**
+     * The host-side self-profiler, or nullptr when --hostprof is off.
+     * Unlike the sinks above it is not attached to a Tracer: hand it
+     * to the run's EventQueue via setHostProfiler() — the harness
+     * helpers (runScheduledScenario, ScenarioRunner) do this
+     * automatically.
+     */
+    HostProfiler *hostprof() { return hostprof_.get(); }
+
+    /**
      * Stamp run identity (bench name, seed) on every attached
      * collector — currently the profile collector and the timeline
      * sampler. Harness-specific extras (schedule, extra scalars) still
@@ -149,6 +166,7 @@ class TraceSession
     std::unique_ptr<ProfileCollector> profile_;
     std::unique_ptr<TimelineSampler> timeline_;
     std::unique_ptr<ProgressSink> progress_;
+    std::unique_ptr<HostProfiler> hostprof_;
     Tracer *tracer_ = nullptr;
     bool finished_ = false;
 };

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "hostprof/hostprof.hh"
+#include "prof/report.hh"
 #include "scenario/generator.hh"
 #include "scenario/runner.hh"
 #include "scenario/scenario.hh"
@@ -47,9 +49,16 @@ struct Invariants
     bool waterfall = true;
 };
 
-/** First failing invariant's name, or nullptr when all hold. */
+/**
+ * First failing invariant's name, or nullptr when all hold. `hp`,
+ * when given, profiles the first execution only — so the journal
+ * invariant then also asserts that a profiled and an unprofiled run
+ * produce byte-identical journals (hostprof must never perturb the
+ * simulation).
+ */
 const char *
-check(const Scenario &sc, const Invariants &which)
+check(const Scenario &sc, const Invariants &which,
+      HostProfiler *hp = nullptr)
 {
     if (which.roundtrip) {
         const std::string text = dumpScenario(sc);
@@ -62,7 +71,7 @@ check(const Scenario &sc, const Invariants &which)
     }
 
     if (which.journal || which.waterfall) {
-        const ScenarioExecution first = executeScenario(sc);
+        const ScenarioExecution first = executeScenario(sc, {}, hp);
         if (which.waterfall &&
             (!first.allSpansClosed() || !first.waterfallsExact()))
             return "waterfall";
@@ -117,8 +126,10 @@ main(int argc, char **argv)
     std::string save = ".";
     std::string replay;
     std::string emit;
+    std::string hostprofDir;
     bool keepGoing = false;
     bool quiet = false;
+    bool stats = false;
 
     CliParser cli("tsm_fuzz");
     cli.addValue("--seed", &seed, "first generator seed (default 1)");
@@ -139,9 +150,17 @@ main(int argc, char **argv)
     cli.addFlag("--keep-going", &keepGoing,
                 "test every case even after a failure");
     cli.addFlag("--quiet", &quiet, "only report failures and totals");
+    cli.addFlag("--stats", &stats,
+                "profile each case's first execution and report its "
+                "sim-rate");
+    cli.addValue("--hostprof-dir", &hostprofDir,
+                 "write one tsm-hostprof-v1 file per case to DIR "
+                 "(implies --stats)");
     if (!cli.parse(argc, argv))
         return 2;
     cfg.maxVectors = std::uint32_t(maxVectors);
+    if (!hostprofDir.empty())
+        stats = true;
 
     Invariants which;
     for (const std::string &s : skip) {
@@ -199,14 +218,45 @@ main(int argc, char **argv)
     }
 
     unsigned failures = 0;
+    std::uint64_t totalEvents = 0;
+    std::uint64_t totalWallNs = 0;
+    std::uint64_t totalSimPs = 0;
+    unsigned profiled = 0;
     for (unsigned i = 0; i < cases; ++i) {
         const std::uint64_t s = seed + i;
         const Scenario sc = generateScenario(s, cfg);
-        const char *failed = check(sc, which);
+        HostProfiler hp;
+        const char *failed = check(sc, which, stats ? &hp : nullptr);
+        if (stats && hp.events() > 0) {
+            totalEvents += hp.events();
+            totalWallNs += hp.wallNs();
+            totalSimPs += hp.simPs();
+            ++profiled;
+            if (!hostprofDir.empty()) {
+                const std::string path = hostprofDir + "/hostprof_seed" +
+                                         std::to_string(s) + ".json";
+                std::string error;
+                if (!writeProfileReport(path, hp.report(), &error))
+                    std::fprintf(stderr, "tsm_fuzz: %s\n", error.c_str());
+            }
+        }
         if (!failed) {
-            if (!quiet)
-                std::printf("seed %llu: ok (%zu flows)\n",
+            if (!quiet) {
+                std::printf("seed %llu: ok (%zu flows)",
                             (unsigned long long)s, sc.flows.size());
+                if (stats && hp.wallNs() > 0)
+                    std::printf(" — %llu events in %.2f ms, %.2fM "
+                                "events/s, slowdown %.0fx",
+                                (unsigned long long)hp.events(),
+                                double(hp.wallNs()) / 1e6,
+                                double(hp.events()) * 1e3 /
+                                    double(hp.wallNs()),
+                                hp.simPs() > 0
+                                    ? double(hp.wallNs()) * 1e3 /
+                                          double(hp.simPs())
+                                    : 0.0);
+                std::printf("\n");
+            }
             continue;
         }
 
@@ -229,5 +279,15 @@ main(int argc, char **argv)
     std::printf("tsm_fuzz: %u case%s, %u failure%s\n",
                 cases, cases == 1 ? "" : "s", failures,
                 failures == 1 ? "" : "s");
+    if (stats && totalWallNs > 0)
+        std::printf("tsm_fuzz sim-rate: %u profiled case%s, %llu events "
+                    "in %.2f ms — %.2fM events/s, mean slowdown %.0fx\n",
+                    profiled, profiled == 1 ? "" : "s",
+                    (unsigned long long)totalEvents,
+                    double(totalWallNs) / 1e6,
+                    double(totalEvents) * 1e3 / double(totalWallNs),
+                    totalSimPs > 0 ? double(totalWallNs) * 1e3 /
+                                         double(totalSimPs)
+                                   : 0.0);
     return failures ? 1 : 0;
 }

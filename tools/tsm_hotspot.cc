@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Host-profile viewer: reads the tsm-hostprof-v1 files written by the
+ * bench binaries' --hostprof flag and renders where the simulator's
+ * own wall-clock time went — top event kinds by wall time, queue
+ * telemetry, the queue-depth sparkline, and the sim-rate trend over
+ * the run's wall-clock windows.
+ *
+ *   tsm_hotspot [--top=N] HOSTPROF.json...
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hh"
+#include "hostprof/hostprof.hh"
+
+int
+main(int argc, char **argv)
+{
+    unsigned top = 8;
+    tsm::CliParser cli("tsm_hotspot");
+    cli.addValue("--top", &top, "event kinds shown, hottest first");
+    cli.allowPositional();
+    if (!cli.parse(argc, argv))
+        return 2;
+    if (argc < 2) {
+        std::fprintf(stderr, "tsm_hotspot: no hostprof files given\n%s",
+                     cli.usage().c_str());
+        return 2;
+    }
+
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *path = argv[i];
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "tsm_hotspot: cannot open %s\n", path);
+            ++failures;
+            continue;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        std::string error;
+        const tsm::Json doc = tsm::Json::parse(text.str(), &error);
+        if (doc.isNull()) {
+            std::fprintf(stderr, "tsm_hotspot: %s: %s\n", path,
+                         error.c_str());
+            ++failures;
+            continue;
+        }
+        if (!doc.has("schema") ||
+            doc["schema"].str() != tsm::kHostprofSchema) {
+            std::fprintf(stderr, "tsm_hotspot: %s: not a %s document\n",
+                         path, tsm::kHostprofSchema);
+            ++failures;
+            continue;
+        }
+        if (i > 1)
+            std::printf("\n");
+        std::printf("%s", tsm::renderHostprof(doc, top).c_str());
+    }
+    return failures == 0 ? 0 : 1;
+}

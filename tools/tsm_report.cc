@@ -6,7 +6,11 @@
  * functional-unit utilization, top-k bottleneck links with queueing
  * percentiles, HAC telemetry, and the SSN critical-path breakdown.
  *
- *   tsm_report [--top=N] REPORT.json...
+ *   tsm_report [--top=N] [--hostprof=FILE] REPORT.json...
+ *
+ * With --hostprof=FILE (a tsm-hostprof-v1 document from the same
+ * run), the summary's wall-clock/sim-rate footer is filled in;
+ * without it the footer honestly reads "n/a".
  */
 
 #include <cstdio>
@@ -14,14 +18,18 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "hostprof/hostprof.hh"
 #include "prof/report.hh"
 
 int
 main(int argc, char **argv)
 {
     unsigned top = 5;
+    std::string hostprofPath;
     tsm::CliParser cli("tsm_report");
     cli.addValue("--top", &top, "links shown in the bottleneck table");
+    cli.addValue("--hostprof", &hostprofPath,
+                 "companion tsm-hostprof-v1 file for the sim-rate footer");
     cli.allowPositional();
     if (!cli.parse(argc, argv))
         return 2;
@@ -32,6 +40,24 @@ main(int argc, char **argv)
     }
 
     int failures = 0;
+    tsm::Json host;
+    if (!hostprofPath.empty()) {
+        std::ifstream f(hostprofPath, std::ios::binary);
+        std::ostringstream text;
+        std::string error;
+        if (f)
+            text << f.rdbuf();
+        if (f)
+            host = tsm::Json::parse(text.str(), &error);
+        if (host.isNull() || !host.has("schema") ||
+            host["schema"].str() != tsm::kHostprofSchema) {
+            std::fprintf(stderr, "tsm_report: %s: not a readable %s "
+                         "document\n",
+                         hostprofPath.c_str(), tsm::kHostprofSchema);
+            host = tsm::Json();
+            ++failures;
+        }
+    }
     for (int i = 1; i < argc; ++i) {
         const char *path = argv[i];
         std::ifstream f(path, std::ios::binary);
@@ -60,7 +86,10 @@ main(int argc, char **argv)
         }
         if (i > 1)
             std::printf("\n");
-        std::printf("%s", tsm::renderProfileSummary(report, top).c_str());
+        std::printf("%s",
+                    tsm::renderProfileSummary(
+                        report, top, host.isNull() ? nullptr : &host)
+                        .c_str());
     }
     return failures == 0 ? 0 : 1;
 }

@@ -6,7 +6,12 @@
  * chips x windows issue-slot occupancy heatmap, and the
  * bottleneck-phase ribbon with its per-phase summary table.
  *
- *   tsm_top [--cols=N] [--links=N] [--chips=N] TIMELINE.json...
+ *   tsm_top [--cols=N] [--links=N] [--chips=N] [--hostprof=FILE]
+ *           TIMELINE.json...
+ *
+ * With --hostprof=FILE (a tsm-hostprof-v1 document from the same
+ * run), a wall-clock/sim-rate footer is appended; without it the
+ * footer honestly reads "n/a".
  */
 
 #include <cstdio>
@@ -14,17 +19,52 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "hostprof/hostprof.hh"
 #include "telemetry/render.hh"
 #include "telemetry/timeline.hh"
+
+namespace {
+
+/** Load a hostprof document; null Json (with stderr note) on failure. */
+tsm::Json
+loadHostprof(const std::string &path, const char *tool)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        std::fprintf(stderr, "%s: cannot open %s\n", tool, path.c_str());
+        return tsm::Json();
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    std::string error;
+    const tsm::Json doc = tsm::Json::parse(text.str(), &error);
+    if (doc.isNull()) {
+        std::fprintf(stderr, "%s: %s: %s\n", tool, path.c_str(),
+                     error.c_str());
+        return tsm::Json();
+    }
+    if (!doc.has("schema") ||
+        doc["schema"].str() != tsm::kHostprofSchema) {
+        std::fprintf(stderr, "%s: %s: not a %s document\n", tool,
+                     path.c_str(), tsm::kHostprofSchema);
+        return tsm::Json();
+    }
+    return doc;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     tsm::TopOptions opts;
+    std::string hostprofPath;
     tsm::CliParser cli("tsm_top");
     cli.addValue("--cols", &opts.cols, "heatmap width in columns");
     cli.addValue("--links", &opts.maxLinks, "links shown, busiest first");
     cli.addValue("--chips", &opts.maxChips, "chips shown, busiest first");
+    cli.addValue("--hostprof", &hostprofPath,
+                 "companion tsm-hostprof-v1 file for the sim-rate footer");
     cli.allowPositional();
     if (!cli.parse(argc, argv))
         return 2;
@@ -63,5 +103,14 @@ main(int argc, char **argv)
             std::printf("\n");
         std::printf("%s", tsm::renderTimelineTop(timeline, opts).c_str());
     }
+    tsm::Json host;
+    if (!hostprofPath.empty()) {
+        host = loadHostprof(hostprofPath, "tsm_top");
+        if (host.isNull())
+            ++failures;
+    }
+    std::printf("%s",
+                tsm::renderHostRateLine(host.isNull() ? nullptr : &host)
+                    .c_str());
     return failures == 0 ? 0 : 1;
 }
