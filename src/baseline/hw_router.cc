@@ -2,9 +2,114 @@
 
 #include <algorithm>
 
+#include "common/format.hh"
 #include "common/log.hh"
+#include "prof/blame.hh"
 
 namespace tsm {
+
+void
+HwBlameRecorder::onGrant(LinkId link, TspId router, unsigned port,
+                         FlowId flow, Tick ready, Tick depart, Tick until)
+{
+    auto &intervals = occ_[{router, port}];
+    LinkTotals &lt = links_[link];
+    ++lt.grants;
+    ++grants_;
+    if (depart > ready) {
+        const Tick wait = depart - ready;
+        waitPs_ += wait;
+        lt.waitPs += wait;
+        Tick covered = 0;
+        for (const Interval &iv : intervals) {
+            const Tick lo = std::max(ready, iv.start);
+            const Tick hi = std::min(depart, iv.end);
+            if (hi <= lo)
+                continue;
+            const Tick share = hi - lo;
+            covered += share;
+            flowPairs_[flow][iv.flow] += share;
+            linkFlows_[link][iv.flow] += share;
+        }
+        blamedPs_ += covered;
+        lt.blamedPs += covered;
+        grid_.add(link, ready, depart);
+    }
+    intervals.push_back({depart, until, flow});
+}
+
+Json
+HwBlameRecorder::report(const std::string &bench, std::uint64_t seed) const
+{
+    Json doc = Json::object();
+    doc.set("schema", kBlameSchema);
+    doc.set("bench", bench);
+    doc.set("seed", seed);
+    doc.set("source", "hw_router");
+
+    Json totals = Json::object();
+    totals.set("recvs", grants_);
+    totals.set("wait_ps", waitPs_);
+    totals.set("blamed_ps", blamedPs_);
+    totals.set("local_ps", std::int64_t(0));
+    totals.set("margin_ps", waitPs_ - blamedPs_);
+    doc.set("totals", std::move(totals));
+
+    // No causal spans on the hardware path: per-transfer attribution
+    // is exactly what dynamic routing cannot give you.
+    doc.set("transfers", Json::array());
+    Json summary = Json::object();
+    summary.set("count", std::int64_t(0));
+    summary.set("wait_ps", std::int64_t(0));
+    doc.set("transfers_summary", std::move(summary));
+
+    struct PairRow
+    {
+        FlowId blocked;
+        FlowId blocker;
+        Tick ps;
+    };
+    std::vector<PairRow> pairs;
+    for (const auto &[blocked, by] : flowPairs_)
+        for (const auto &[blocker, ps] : by)
+            pairs.push_back({blocked, blocker, ps});
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const PairRow &a, const PairRow &b) {
+                         return a.ps > b.ps;
+                     });
+    Json jpairs = Json::array();
+    for (const PairRow &p : pairs) {
+        Json e = Json::object();
+        e.set("blocked", p.blocked);
+        e.set("blocker", p.blocker);
+        e.set("ps", p.ps);
+        jpairs.push(std::move(e));
+    }
+    doc.set("flow_pairs", std::move(jpairs));
+
+    Json jlinks = Json::array();
+    for (const auto &[link, lt] : links_) {
+        Json e = Json::object();
+        e.set("id", link);
+        e.set("recvs", lt.grants);
+        e.set("wait_ps", lt.waitPs);
+        Json shares = Json::object();
+        Json flows = Json::object();
+        if (auto it = linkFlows_.find(link); it != linkFlows_.end())
+            for (const auto &[f, ps] : it->second)
+                flows.set(format("{}", f), ps);
+        shares.set("flows", std::move(flows));
+        shares.set("local_ps", std::int64_t(0));
+        shares.set("margin_ps", lt.waitPs - lt.blamedPs);
+        e.set("shares", std::move(shares));
+        jlinks.push(std::move(e));
+    }
+    doc.set("links", std::move(jlinks));
+
+    doc.set("chains", Json::array());
+    doc.set("windows", grid_.toJson());
+    return doc;
+}
 
 HwRoutedNetwork::HwRoutedNetwork(const Topology &topo, EventQueue &eq,
                                  const Rng &rng, HwConfig config)
@@ -95,6 +200,7 @@ HwRoutedNetwork::inject(FlowId flow, TspId src, TspId dst,
                 pkt.seq = v;
                 pkt.dst = dst;
                 pkt.injected = t;
+                pkt.ready = t;
                 routers_[src].injection.push_back(pkt);
                 kick(src);
             },
@@ -183,6 +289,9 @@ HwRoutedNetwork::tryForward(TspId router, LinkId out)
         const Tick prop = linkPropagationPs(link.cls);
         const Tick depart = eventq_->now();
         r.outputBusyUntil[out_port] = depart + ser;
+        if (blame_)
+            blame_->onGrant(out, router, out_port, pkt.flow, pkt.ready,
+                            depart, depart + ser);
 
         const unsigned prev_vc = pkt.vc;
         pkt.vc = out_vc;
@@ -233,6 +342,7 @@ HwRoutedNetwork::arrive(TspId router, LinkId in, Packet pkt)
         return;
     }
     const unsigned in_port = topo_->links()[in].portAt(router);
+    pkt.ready = eventq_->now();
     routers_[router].inputs[pv(in_port, pkt.vc)].push_back(pkt);
     kick(router);
 }

@@ -17,17 +17,69 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/units.hh"
 #include "net/flit.hh"
 #include "net/topology.hh"
 #include "sim/event_queue.hh"
+#include "telemetry/contention.hh"
 
 namespace tsm {
+
+/**
+ * Optional contention recorder for the baseline network: the
+ * hardware-routed analogue of the SSN blame sink. At every output
+ * grant it decomposes the packet's queueing wait — ready at the head
+ * of an input FIFO (or the injection queue) to depart — into
+ * per-blocking-flow shares by replaying which packets occupied the
+ * granted transmitter over that span; the uncovered remainder
+ * (arbitration losses, credit stalls) is charged to margin. Emits
+ * the same tsm-blame-v1 shape as the SSN path with source
+ * "hw_router" — the point is the contrast: this document varies with
+ * the router seed, the SSN document is byte-identical across seeds.
+ */
+class HwBlameRecorder
+{
+  public:
+    /** Record a grant of `link` at `router` to `flow`. */
+    void onGrant(LinkId link, TspId router, unsigned port, FlowId flow,
+                 Tick ready, Tick depart, Tick until);
+
+    /** The tsm-blame-v1 document (source "hw_router"). */
+    Json report(const std::string &bench, std::uint64_t seed) const;
+
+  private:
+    struct Interval
+    {
+        Tick start;
+        Tick end;
+        FlowId flow;
+    };
+
+    struct LinkTotals
+    {
+        std::uint64_t grants = 0;
+        Tick waitPs = 0;
+        Tick blamedPs = 0;
+    };
+
+    /** Transmitter occupancy history per (router, output port). */
+    std::map<std::pair<TspId, unsigned>, std::vector<Interval>> occ_;
+    std::map<FlowId, std::map<FlowId, Tick>> flowPairs_;
+    std::map<LinkId, std::map<FlowId, Tick>> linkFlows_;
+    std::map<LinkId, LinkTotals> links_;
+    ContentionGrid grid_;
+    std::uint64_t grants_ = 0;
+    Tick waitPs_ = 0;
+    Tick blamedPs_ = 0;
+};
 
 /** Routing policy of the baseline router. */
 enum class HwRouting : std::uint8_t
@@ -92,6 +144,9 @@ class HwRoutedNetwork
     /** Completion tick of a flow (last packet delivered). */
     Tick flowCompletion(FlowId f) const;
 
+    /** Attach a contention recorder (borrowed; may be null). */
+    void setBlame(HwBlameRecorder *blame) { blame_ = blame; }
+
   private:
     struct Packet
     {
@@ -99,6 +154,7 @@ class HwRoutedNetwork
         std::uint32_t seq = 0;
         TspId dst = kTspInvalid;
         Tick injected = 0;
+        Tick ready = 0; ///< when it reached the head-eligible queue
         unsigned vc = 0;
     };
 
@@ -143,6 +199,7 @@ class HwRoutedNetwork
     Rng rng_;
     std::uint64_t seed_;
     HwConfig config_;
+    HwBlameRecorder *blame_ = nullptr;
 
     std::vector<RouterState> routers_;
     std::uint64_t delivered_ = 0;

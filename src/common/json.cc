@@ -34,6 +34,27 @@ formatDouble(double v)
     return s;
 }
 
+/** Append one Unicode code point to `out` as UTF-8 (1-4 bytes). */
+void
+appendUtf8(std::string &out, std::uint32_t cp)
+{
+    if (cp < 0x80) {
+        out.push_back(char(cp));
+    } else if (cp < 0x800) {
+        out.push_back(char(0xc0 | (cp >> 6)));
+        out.push_back(char(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+        out.push_back(char(0xe0 | (cp >> 12)));
+        out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+        out.push_back(char(0x80 | (cp & 0x3f)));
+    } else {
+        out.push_back(char(0xf0 | (cp >> 18)));
+        out.push_back(char(0x80 | ((cp >> 12) & 0x3f)));
+        out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+        out.push_back(char(0x80 | (cp & 0x3f)));
+    }
+}
+
 void
 escapeTo(std::string &out, const std::string &s)
 {
@@ -181,6 +202,36 @@ class Parser
         return Json(d);
     }
 
+    /**
+     * Read exactly four hex digits of a \uXXXX escape; -1 (with the
+     * parse failed) on truncation or a non-hex digit.
+     */
+    long
+    hex4()
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return -1;
+        }
+        long cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+                cp |= h - '0';
+            else if (h >= 'a' && h <= 'f')
+                cp |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F')
+                cp |= h - 'A' + 10;
+            else {
+                fail(std::string("bad hex digit '") + h +
+                     "' in \\u escape");
+                return -1;
+            }
+        }
+        return cp;
+    }
+
     std::string
     string()
     {
@@ -204,20 +255,35 @@ class Parser
                   case 'b': out.push_back('\b'); break;
                   case 'f': out.push_back('\f'); break;
                   case 'u': {
-                    if (pos_ + 4 > text_.size()) {
-                        fail("truncated \\u escape");
+                    long cp = hex4();
+                    if (cp < 0)
+                        return out;
+                    if (cp >= 0xdc00 && cp <= 0xdfff) {
+                        fail("lone low surrogate in \\u escape");
                         return out;
                     }
-                    const std::string hex = text_.substr(pos_, 4);
-                    pos_ += 4;
-                    const long cp = std::strtol(hex.c_str(), nullptr, 16);
-                    if (cp < 0x80) {
-                        out.push_back(char(cp));
-                    } else {
-                        // Non-ASCII escapes are out of scope for the
-                        // report format; keep a replacement char.
-                        out.push_back('?');
+                    if (cp >= 0xd800 && cp <= 0xdbff) {
+                        // High surrogate: a \uDC00-\uDFFF low half
+                        // must follow to form one code point.
+                        if (pos_ + 2 > text_.size() ||
+                            text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u') {
+                            fail("unpaired high surrogate in \\u escape");
+                            return out;
+                        }
+                        pos_ += 2;
+                        const long lo = hex4();
+                        if (lo < 0)
+                            return out;
+                        if (lo < 0xdc00 || lo > 0xdfff) {
+                            fail("high surrogate not followed by a low "
+                                 "surrogate");
+                            return out;
+                        }
+                        cp = 0x10000 + ((cp - 0xd800) << 10) +
+                             (lo - 0xdc00);
                     }
+                    appendUtf8(out, std::uint32_t(cp));
                     break;
                   }
                   default: fail("bad escape"); return out;

@@ -8,8 +8,10 @@
  * runs emit byte-identical `BENCH_*.json` files and golden tests can
  * diff them directly. The reader is a small strict recursive-descent
  * parser, enough for `tsm_report` to reload a report and for tests to
- * round-trip; it is not a general-purpose validator (no \uXXXX escapes
- * beyond ASCII, no surrogate handling).
+ * round-trip. `\uXXXX` escapes decode to UTF-8 (surrogate pairs
+ * included); malformed escapes — bad hex digits, truncation, lone or
+ * unpaired surrogates — are parse errors, never silent replacements,
+ * so escaped strings survive parse -> serialize -> parse byte-stably.
  */
 
 #ifndef TSM_COMMON_JSON_HH

@@ -49,11 +49,15 @@ Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
     const Link &link = topo_->links()[l];
     Direction &dir = directions_[dirIndex(l, src)];
     TSM_ASSERT(depart >= dir.txFreeAt,
-               "SSN invariant violated: overlapping serialization windows "
-               "on one link — the schedule has a link-cycle conflict");
+               "SSN invariant violated: link-cycle conflict on link {} — "
+               "flow {} seq {} departs at {} while flow {} seq {} holds "
+               "the transmitter until {}",
+               l, flit.flow, flit.seq, depart, dir.occupant.flow,
+               dir.occupant.seq, dir.txFreeAt);
 
     const Tick ser = Tick(kVectorSerializationPs);
     dir.txFreeAt = depart + ser;
+    dir.occupant = {flit.flow, flit.seq, flit.span, depart};
 
     LinkStats &st = stats_[l];
     ++st.flits;
@@ -166,6 +170,12 @@ std::size_t
 Network::rxDepth(TspId tsp, unsigned port) const
 {
     return rx_[tsp][port].fifo.size();
+}
+
+const Network::Occupant &
+Network::lastOccupant(TspId src, LinkId l) const
+{
+    return directions_[dirIndex(l, src)].occupant;
 }
 
 std::uint64_t

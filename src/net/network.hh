@@ -136,6 +136,25 @@ class Network
     /** Number of flits waiting at (tsp, port). */
     std::size_t rxDepth(TspId tsp, unsigned port) const;
 
+    /** The transmit that most recently occupied one link direction. */
+    struct Occupant
+    {
+        FlowId flow = kFlowInvalid;
+        std::uint32_t seq = 0;
+        SpanId span = kSpanNone;
+
+        /** Serialization window [depart, depart + serialization). */
+        Tick depart = 0;
+    };
+
+    /**
+     * Who last held the transmitter of (l, from `src`), and when.
+     * The enqueue-time half of contention attribution: any transmit
+     * pushed past `earliest` by earliestDeparture() was pushed by
+     * exactly this occupant's serialization window.
+     */
+    const Occupant &lastOccupant(TspId src, LinkId l) const;
+
     const LinkStats &linkStats(LinkId l) const { return stats_[l]; }
 
     /** Sum of flits carried over all links. */
@@ -149,6 +168,9 @@ class Network
     {
         /** Transmitter end is free again at this tick. */
         Tick txFreeAt = 0;
+
+        /** The flit whose serialization window set txFreeAt. */
+        Occupant occupant;
     };
 
     struct PortRx

@@ -1,4 +1,5 @@
 tsm_module(prof
+    blame.cc
     profiler.cc
     report.cc
     ssn_analysis.cc

@@ -5,6 +5,7 @@
 
 #include "arch/chip.hh"
 #include "net/network.hh"
+#include "prof/blame.hh"
 #include "prof/report.hh"
 #include "ssn/schedule_trace.hh"
 
@@ -25,6 +26,8 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
     session.setRun(bench, seed);
     if (ProfileCollector *prof = session.profile())
         prof->setSchedule(result.schedule, topo, transfers);
+    if (BlameCollector *blame = session.blame())
+        blame->setSchedule(result.schedule, topo);
 
     EventQueue eq;
     session.attach(eq.tracer());

@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "common/format.hh"
 #include "hostprof/hostprof.hh"
+#include "prof/blame.hh"
 #include "prof/report.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/timeline.hh"
@@ -74,6 +76,42 @@ ScenarioExecution::waterfallsExact() const
     return true;
 }
 
+bool
+ScenarioExecution::blameExact(std::string *why) const
+{
+    if (!checkBlameExactness(blame, why))
+        return false;
+    // Reconcile per-link blamed waits against the profiler's
+    // independently kept queue-delay histograms: same pairing rule,
+    // different bookkeeping, so any drift is a real bug.
+    std::map<LinkId, Tick> blamed;
+    if (blame["links"].kind() == Json::Kind::Array)
+        for (const Json &l : blame["links"].items())
+            blamed[LinkId(l["id"].integer())] =
+                Tick(l["wait_ps"].integer());
+    for (const auto &[link, ps] : linkQueueDelayPs) {
+        const auto it = blamed.find(link);
+        const Tick got = it == blamed.end() ? 0 : it->second;
+        if (got != ps) {
+            if (why)
+                *why = format("link {}: blamed wait {} ps != profiler "
+                              "queue delay {} ps",
+                              link, got, ps);
+            return false;
+        }
+    }
+    for (const auto &[link, ps] : blamed) {
+        if (ps != 0 && !linkQueueDelayPs.count(link)) {
+            if (why)
+                *why = format("link {}: blame names {} ps the profiler "
+                              "never saw",
+                              link, ps);
+            return false;
+        }
+    }
+    return true;
+}
+
 ScenarioExecution
 executeScenario(const Scenario &scenario,
                 const ScenarioOverrides &overrides, HostProfiler *hostprof)
@@ -87,6 +125,9 @@ executeScenario(const Scenario &scenario,
     std::ostringstream journalText;
     JournalSink journal(journalText);
     ProfilerSink profiler;
+    BlameCollector blame;
+    blame.setBench(scenario.name);
+    blame.setSeed(seed);
 
     if (hostprof) {
         hostprof->setBench(scenario.name);
@@ -95,11 +136,19 @@ executeScenario(const Scenario &scenario,
     TraceSession inactive;
     const TracedScenarioResult traced = runScheduledScenario(
         inactive, topo, lowered.transfers, scenario.name, seed, mbe,
-        scenario.ssn, {&journal, &profiler}, hostprof);
+        scenario.ssn, {&journal, &profiler, &blame.sink()}, hostprof);
+    blame.setSchedule(traced.schedule, topo);
 
     ScenarioExecution exec;
     exec.journal = journalText.str();
     exec.transfers = profiler.transfers();
+    exec.blame = blame.report();
+    exec.blameText = exec.blame.dump(2);
+    for (const auto &[link, acct] : profiler.links()) {
+        (void)acct;
+        if (const Log2Histogram *h = profiler.queueDelay(link))
+            exec.linkQueueDelayPs[link] = Tick(h->sum());
+    }
     for (const TensorTransfer &t : lowered.transfers)
         exec.expectedSpans += t.vectors;
     exec.makespan = traced.schedule.makespan;

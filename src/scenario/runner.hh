@@ -10,10 +10,12 @@
  *    a thin loader: parse the file, run it, print the result.
  *
  *  - executeScenario() runs headless and captures the canonical
- *    journal text and the per-transfer waterfalls in memory. This is
- *    the fuzzer's oracle: run a scenario twice and the two journals
+ *    journal text, the per-transfer waterfalls, and the tsm-blame-v1
+ *    contention attribution in memory. This is the fuzzer's oracle:
+ *    run a scenario twice and the two journals (and blame documents)
  *    must be byte-identical; every waterfall must tile its transfer's
- *    observed latency exactly.
+ *    observed latency exactly; every blame breakdown must sum to its
+ *    wait exactly.
  */
 
 #ifndef TSM_SCENARIO_RUNNER_HH
@@ -23,6 +25,7 @@
 #include <optional>
 #include <string>
 
+#include "common/json.hh"
 #include "prof/profiler.hh"
 #include "runtime/traced_scenario.hh"
 #include "scenario/scenario.hh"
@@ -69,6 +72,15 @@ struct ScenarioExecution
     /** Per-transfer waterfalls keyed by parent span id. */
     std::map<SpanId, TransferRecord> transfers;
 
+    /** The tsm-blame-v1 contention attribution document. */
+    Json blame;
+
+    /** Canonical serialized blame text (byte-identity oracle). */
+    std::string blameText;
+
+    /** Per-link receive queue-delay sums from the profiler (ps). */
+    std::map<LinkId, Tick> linkQueueDelayPs;
+
     /** Vectors the lowered transfer set moves (expected span count). */
     std::uint64_t expectedSpans = 0;
 
@@ -84,6 +96,15 @@ struct ScenarioExecution
      * and the number of spans matches the vectors moved.
      */
     bool waterfallsExact() const;
+
+    /**
+     * True if the blame document passes checkBlameExactness() — every
+     * per-transfer and per-link breakdown sums to its wait exactly —
+     * AND the per-link blamed waits reconcile with the independently
+     * kept profiler queue-delay account. `why`, when given, receives
+     * the first mismatch.
+     */
+    bool blameExact(std::string *why = nullptr) const;
 };
 
 /**

@@ -35,15 +35,28 @@ ReservationLedger::free(LinkId link, bool from_a, Cycle start) const
 }
 
 void
-ReservationLedger::reserve(LinkId link, bool from_a, Cycle start)
+ReservationLedger::reserve(LinkId link, bool from_a, Cycle start,
+                           FlowId owner)
 {
     auto &dir = dirs_[index(link, from_a)];
     TSM_ASSERT(free(link, from_a, start),
                "link-cycle conflict: double-booked serialization window");
-    dir.emplace(start, start);
+    dir.emplace(start, owner);
     ++total_;
     if (start + window_ > horizon_)
         horizon_ = start + window_;
+}
+
+std::vector<ReservationLedger::Occupant>
+ReservationLedger::occupantsInRange(LinkId link, bool from_a,
+                                    Cycle from, Cycle to) const
+{
+    std::vector<Occupant> out;
+    const auto &dir = dirs_[index(link, from_a)];
+    auto it = dir.lower_bound(from >= window_ ? from - window_ + 1 : 0);
+    for (; it != dir.end() && it->first < to; ++it)
+        out.push_back({it->first, it->second});
+    return out;
 }
 
 } // namespace tsm

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "net/flit.hh"
 #include "net/topology.hh"
 
 namespace tsm {
@@ -47,10 +48,13 @@ class ReservationLedger
     Cycle earliestFree(LinkId link, bool from_a, Cycle earliest) const;
 
     /**
-     * Reserve [start, start+window) on the direction. Panics on
-     * overlap — the scheduler must have consulted earliestFree.
+     * Reserve [start, start+window) on the direction for `owner`.
+     * Panics on overlap — the scheduler must have consulted
+     * earliestFree. The owner flow is what contention attribution
+     * reports when a later vector is pushed past this window.
      */
-    void reserve(LinkId link, bool from_a, Cycle start);
+    void reserve(LinkId link, bool from_a, Cycle start,
+                 FlowId owner = kFlowInvalid);
 
     /** True if [start, start+window) is free on the direction. */
     bool free(LinkId link, bool from_a, Cycle start) const;
@@ -73,6 +77,22 @@ class ReservationLedger
 
     Cycle window() const { return window_; }
 
+    /** One reserved serialization window and the flow holding it. */
+    struct Occupant
+    {
+        Cycle start;
+        FlowId owner;
+    };
+
+    /**
+     * Reserved windows on (link, from_a) overlapping [from, to), in
+     * start order. This is the static-blame query: every cycle a
+     * vector was pushed past `from` is covered by these occupants
+     * (plus scheduler-issue slots).
+     */
+    std::vector<Occupant> occupantsInRange(LinkId link, bool from_a,
+                                           Cycle from, Cycle to) const;
+
   private:
     std::size_t
     index(LinkId link, bool from_a) const
@@ -80,8 +100,8 @@ class ReservationLedger
         return std::size_t(link) * 2 + (from_a ? 0 : 1);
     }
 
-    /** start -> start (keyed set of window starts), per direction. */
-    std::vector<std::map<Cycle, Cycle>> dirs_;
+    /** start -> owning flow, per direction. */
+    std::vector<std::map<Cycle, FlowId>> dirs_;
     Cycle window_;
     std::uint64_t total_ = 0;
     Cycle horizon_ = 0;

@@ -105,9 +105,12 @@ class ScheduleBuilder
             }
             TSM_ASSERT(best.arrival != ~Cycle(0), "no feasible path");
 
+            attributeDelay(t.flow, best, next_inject[best_path], out);
+
             for (const auto &hop : best.hops) {
                 const Link &link = topo_.links()[hop.link];
-                ledger_.reserve(hop.link, link.a == hop.from, hop.depart);
+                ledger_.reserve(hop.link, link.a == hop.from, hop.depart,
+                                t.flow);
                 slots_.reserve(hop.from, hop.depart);
             }
             next_inject[best_path] =
@@ -134,6 +137,48 @@ class ScheduleBuilder
         std::vector<ScheduledHop> hops;
         Cycle arrival = ~Cycle(0);
     };
+
+    /**
+     * Charge every cycle `cand` was pushed past its per-hop ready
+     * times to the flows whose reserved windows stood in the way.
+     * Must run before `cand`'s own windows are reserved. Occupant
+     * windows on a direction are disjoint, so their clipped overlaps
+     * with [ready, depart) partition the link-induced share exactly;
+     * the uncovered remainder is the per-chip issue-slot limit.
+     */
+    void
+    attributeDelay(FlowId flow, const Candidate &cand, Cycle ready0,
+                   NetworkSchedule &out)
+    {
+        ScheduleBlame &blame = out.blame;
+        Cycle ready = ready0;
+        for (std::size_t h = 0; h < cand.hops.size(); ++h) {
+            const ScheduledHop &hop = cand.hops[h];
+            if (h > 0)
+                ready = cand.hops[h - 1].arrive + forwardCycles();
+            if (hop.depart > ready) {
+                const Cycle delay = hop.depart - ready;
+                const Link &link = topo_.links()[hop.link];
+                Cycle covered = 0;
+                for (const auto &occ : ledger_.occupantsInRange(
+                         hop.link, link.a == hop.from, ready,
+                         hop.depart)) {
+                    const Cycle lo = std::max(ready, occ.start);
+                    const Cycle hi = std::min(
+                        hop.depart, occ.start + ledger_.window());
+                    if (hi <= lo)
+                        continue;
+                    const Cycle share = hi - lo;
+                    covered += share;
+                    blame.flowPairCycles[flow][occ.owner] += share;
+                    blame.linkFlowCycles[hop.link][occ.owner] += share;
+                }
+                blame.issueDelayCycles += delay - covered;
+                blame.flowDelayCycles[flow] += delay;
+                blame.totalDelayCycles += delay;
+            }
+        }
+    }
 
     /** Chain one vector down `path`, starting no earlier than `ready0`. */
     Candidate

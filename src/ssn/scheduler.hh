@@ -17,6 +17,7 @@
 #define TSM_SSN_SCHEDULER_HH
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -77,6 +78,32 @@ struct FlowSummary
     unsigned pathsUsed = 0;
 };
 
+/**
+ * Static (compile-time) contention attribution. Every cycle a vector
+ * was pushed past its ready time during scheduling is charged either
+ * to the flow whose reserved serialization window occupied the link
+ * direction, or to the per-chip instruction-issue limit ("issue").
+ * Keys are std::maps so iteration — and thus any serialized form —
+ * is deterministic.
+ */
+struct ScheduleBlame
+{
+    /** blocked flow -> blocking flow -> cycles of induced delay. */
+    std::map<FlowId, std::map<FlowId, Cycle>> flowPairCycles;
+
+    /** link -> blocking flow -> cycles of delay it induced there. */
+    std::map<LinkId, std::map<FlowId, Cycle>> linkFlowCycles;
+
+    /** blocked flow -> total delay cycles (link + issue). */
+    std::map<FlowId, Cycle> flowDelayCycles;
+
+    /** All delay cycles across all vectors and hops. */
+    Cycle totalDelayCycles = 0;
+
+    /** Share of the delay due to the one-send-per-chip issue limit. */
+    Cycle issueDelayCycles = 0;
+};
+
 /** The complete communication schedule. */
 struct NetworkSchedule
 {
@@ -88,6 +115,9 @@ struct NetworkSchedule
 
     /** Completion time of one flow. */
     Cycle flowCompletion(FlowId f) const;
+
+    /** Who delayed whom, resolved while the schedule was built. */
+    ScheduleBlame blame;
 };
 
 /** Result of validating a schedule against the SSN invariants. */

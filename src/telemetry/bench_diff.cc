@@ -203,6 +203,36 @@ diffTimeline(DiffResult &out, const Json &base, const Json &next,
                       tol);
 }
 
+void
+diffBlame(DiffResult &out, const Json &base, const Json &next,
+          double tol)
+{
+    // Recv count is structural: the same scenario must hand the same
+    // transfers to the blame sink, whatever the waits were.
+    comparePath(out, base, next, "totals.recvs", MetricDirection::Stable,
+                tol);
+    comparePath(out, base, next, "totals.wait_ps",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "totals.blamed_ps",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "totals.margin_ps",
+                MetricDirection::Info, tol);
+    comparePath(out, base, next, "schedule.total_delay_cycles",
+                MetricDirection::LowerIsBetter, tol);
+    comparePath(out, base, next, "schedule.issue_delay_cycles",
+                MetricDirection::LowerIsBetter, tol);
+    // The worst flow-on-flow interference edge; both documents sort
+    // flow_pairs descending, so index 0 is each run's heaviest blame.
+    if (base["flow_pairs"].kind() == Json::Kind::Array &&
+        next["flow_pairs"].kind() == Json::Kind::Array &&
+        base["flow_pairs"].size() > 0 && next["flow_pairs"].size() > 0) {
+        compareMetric(out, "flow_pairs.top_ps",
+                      base["flow_pairs"].at(0)["ps"].number(),
+                      next["flow_pairs"].at(0)["ps"].number(),
+                      MetricDirection::LowerIsBetter, tol);
+    }
+}
+
 } // namespace
 
 DiffResult
@@ -222,6 +252,8 @@ diffReports(const Json &base, const Json &next, double tol)
         diffTimeline(out, base, next, tol);
     else if (baseSchema == "tsm-hostprof-v1")
         diffHostprof(out, base, next, tol);
+    else if (baseSchema == "tsm-blame-v1")
+        diffBlame(out, base, next, tol);
     else
         diffProfile(out, base, next, tol);
     return out;

@@ -1,0 +1,143 @@
+#include "telemetry/contention.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/format.hh"
+#include "common/log.hh"
+#include "telemetry/render.hh"
+
+namespace tsm {
+
+ContentionGrid::ContentionGrid(Tick window_ps) : windowPs_(window_ps)
+{
+    TSM_ASSERT(window_ps > 0, "zero-width contention window");
+}
+
+void
+ContentionGrid::add(LinkId link, Tick from, Tick to)
+{
+    if (to <= from)
+        return;
+    auto &row = cells_[link];
+    for (Tick at = from; at < to;) {
+        const std::uint64_t w = at / windowPs_;
+        const Tick edge = (w + 1) * windowPs_;
+        const Tick stop = std::min(to, edge);
+        row[w] += stop - at;
+        at = stop;
+    }
+}
+
+Tick
+ContentionGrid::linkTotal(LinkId link) const
+{
+    auto it = cells_.find(link);
+    if (it == cells_.end())
+        return 0;
+    Tick total = 0;
+    for (const auto &[w, ps] : it->second)
+        total += ps;
+    return total;
+}
+
+Json
+ContentionGrid::toJson() const
+{
+    std::uint64_t last = 0;
+    for (const auto &[link, row] : cells_)
+        if (!row.empty())
+            last = std::max(last, row.rbegin()->first + 1);
+
+    Json links = Json::array();
+    for (const auto &[link, row] : cells_) {
+        if (row.empty())
+            continue;
+        const std::uint64_t first = row.begin()->first;
+        Json cells = Json::array();
+        for (std::uint64_t w = first; w <= row.rbegin()->first; ++w) {
+            auto it = row.find(w);
+            cells.push(it == row.end() ? Tick(0) : it->second);
+        }
+        Json entry = Json::object();
+        entry.set("id", std::uint64_t(link));
+        entry.set("first", first);
+        entry.set("cells", std::move(cells));
+        links.push(std::move(entry));
+    }
+
+    Json out = Json::object();
+    out.set("window_ps", std::uint64_t(windowPs_));
+    out.set("windows", last);
+    out.set("links", std::move(links));
+    return out;
+}
+
+std::string
+renderContentionHeatmap(const Json &blame, unsigned cols,
+                        unsigned max_links)
+{
+    const Json &win = blame["windows"];
+    const std::uint64_t windows =
+        win.isNull() ? 0 : std::uint64_t(win["windows"].integer());
+    const std::string bench =
+        blame["bench"].isNull() ? "?" : blame["bench"].str();
+    std::string out = format("== tsm contention: {} ==\n", bench);
+    if (windows == 0) {
+        out += "no blamed contention recorded\n";
+        return out;
+    }
+    const Tick windowPs = Tick(win["window_ps"].integer());
+    const unsigned ncols =
+        unsigned(std::min<std::uint64_t>(windows, std::max(1u, cols)));
+    out += format("{} windows x {} ps of blamed wait per link\n", windows,
+                  std::uint64_t(windowPs));
+
+    struct Row
+    {
+        std::string label;
+        Tick total = 0;
+        std::vector<Tick> cells;
+    };
+    std::vector<Row> rows;
+    for (const Json &link : win["links"].items()) {
+        Row row;
+        row.label = format("link {}", link["id"].integer());
+        row.cells.assign(ncols, 0);
+        const std::uint64_t first =
+            std::uint64_t(link["first"].integer());
+        const auto &cells = link["cells"].items();
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const Tick ps = Tick(cells[i].integer());
+            const unsigned c = unsigned((first + i) * ncols / windows);
+            row.cells[c] = std::max(row.cells[c], ps);
+            row.total += ps;
+        }
+        rows.push_back(std::move(row));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         return a.total > b.total;
+                     });
+    const std::size_t shown =
+        std::min<std::size_t>(rows.size(), max_links);
+    out += format("congestion heatmap ({} of {} links shown, shade = "
+                  "blamed wait / window):\n",
+                  std::uint64_t(shown), std::uint64_t(rows.size()));
+    std::size_t width = 0;
+    for (std::size_t r = 0; r < shown; ++r)
+        width = std::max(width, rows[r].label.size());
+    for (std::size_t r = 0; r < shown; ++r) {
+        const Row &row = rows[r];
+        out += row.label;
+        out += std::string(width - row.label.size(), ' ');
+        out += " |";
+        for (unsigned c = 0; c < ncols; ++c)
+            out += shadeChar(double(row.cells[c]) / double(windowPs));
+        out += format("| {} ps\n", std::uint64_t(row.total));
+    }
+    return out;
+}
+
+} // namespace tsm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Windowed per-link contention intensity.
+ *
+ * The blame layer (prof/blame.hh) attributes every waited picosecond
+ * to the flow that occupied the contended resource; this grid answers
+ * *when* the contention happened. Each blamed wait interval on a link
+ * is spread exactly over fixed-width picosecond windows (an interval
+ * crossing a boundary contributes the clipped overlap to each side),
+ * so the sum of a link's cells equals its total blamed wait. The grid
+ * serializes deterministically inside the `tsm-blame-v1` document and
+ * is what `tsm_top` renders as the congestion heatmap.
+ */
+
+#ifndef TSM_TELEMETRY_CONTENTION_HH
+#define TSM_TELEMETRY_CONTENTION_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/json.hh"
+#include "common/units.hh"
+#include "net/topology.hh"
+
+namespace tsm {
+
+/** Default contention window width in picoseconds (~225 cycles). */
+inline constexpr Tick kDefaultContentionWindowPs = 250000;
+
+/** Per-link, per-window accumulation of blamed wait time. */
+class ContentionGrid
+{
+  public:
+    explicit ContentionGrid(Tick window_ps = kDefaultContentionWindowPs);
+
+    /** Spread the wait interval [from, to) on `link` over windows. */
+    void add(LinkId link, Tick from, Tick to);
+
+    Tick windowPs() const { return windowPs_; }
+
+    /** Total wait recorded for one link (sum of its cells). */
+    Tick linkTotal(LinkId link) const;
+
+    /**
+     * Serialize as {"window_ps", "windows", "links": [{"id", "first",
+     * "cells"}]}. `first` is the index of a link's first non-empty
+     * window; `cells` runs contiguously from there to its last.
+     * Deterministic: maps iterate in key order.
+     */
+    Json toJson() const;
+
+  private:
+    Tick windowPs_;
+
+    /** link -> window index -> blamed wait ps inside that window. */
+    std::map<LinkId, std::map<std::uint64_t, Tick>> cells_;
+};
+
+/**
+ * Render the congestion heatmap of a `tsm-blame-v1` document's
+ * "windows" section: links x time, shaded by blamed wait per window
+ * (the telemetry/render.hh ramp), downsampled to `cols` columns with
+ * per-column maxima, busiest links first.
+ */
+std::string renderContentionHeatmap(const Json &blame, unsigned cols = 64,
+                                    unsigned max_links = 12);
+
+} // namespace tsm
+
+#endif // TSM_TELEMETRY_CONTENTION_HH

@@ -1,4 +1,5 @@
 tsm_module(telemetry
+    contention.cc
     timeline.cc
     phase.cc
     bench_diff.cc

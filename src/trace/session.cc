@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "hostprof/hostprof.hh"
+#include "prof/blame.hh"
 #include "prof/report.hh"
 #include "telemetry/phase.hh"
 #include "telemetry/progress.hh"
@@ -38,6 +39,8 @@ TraceOptions::fromArgs(int &argc, char **argv)
             opts.progressMegacycles = std::strtod(arg + 11, nullptr);
         } else if (std::strncmp(arg, "--hostprof=", 11) == 0) {
             opts.hostprofPath = arg + 11;
+        } else if (std::strncmp(arg, "--blame=", 8) == 0) {
+            opts.blamePath = arg + 8;
         } else {
             argv[out++] = argv[i];
         }
@@ -66,6 +69,8 @@ TraceOptions::registerFlags(CliParser &parser)
                     "stderr heartbeat every N simulated megacycles");
     parser.addValue("--hostprof", &hostprofPath,
                     "write the tsm-hostprof-v1 host profile to FILE");
+    parser.addValue("--blame", &blamePath,
+                    "write the tsm-blame-v1 contention attribution to FILE");
 }
 
 bool
@@ -73,7 +78,8 @@ TraceOptions::instrumented() const
 {
     return !tracePath.empty() || metrics || digest || !reportPath.empty() ||
            !journalPath.empty() || !timelinePath.empty() ||
-           progressMegacycles > 0 || !hostprofPath.empty();
+           progressMegacycles > 0 || !hostprofPath.empty() ||
+           !blamePath.empty();
 }
 
 TraceSession::TraceSession() = default;
@@ -97,6 +103,8 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
         progress_ = std::make_unique<ProgressSink>(opts_.progressMegacycles);
     if (!opts_.hostprofPath.empty())
         hostprof_ = std::make_unique<HostProfiler>();
+    if (!opts_.blamePath.empty())
+        blame_ = std::make_unique<BlameCollector>();
 }
 
 TraceSession::~TraceSession()
@@ -108,7 +116,7 @@ bool
 TraceSession::active() const
 {
     return chrome_ || metricsSink_ || digestSink_ || journal_ ||
-           profile_ || timeline_ || progress_ || hostprof_;
+           profile_ || timeline_ || progress_ || hostprof_ || blame_;
 }
 
 void
@@ -125,6 +133,10 @@ TraceSession::setRun(const std::string &bench, std::uint64_t seed)
     if (hostprof_) {
         hostprof_->setBench(bench);
         hostprof_->setSeed(seed);
+    }
+    if (blame_) {
+        blame_->setBench(bench);
+        blame_->setSeed(seed);
     }
 }
 
@@ -147,6 +159,8 @@ TraceSession::attach(Tracer &tracer)
         tracer.addSink(timeline_.get());
     if (progress_)
         tracer.addSink(progress_.get());
+    if (blame_)
+        tracer.addSink(&blame_->sink());
 }
 
 void
@@ -168,6 +182,8 @@ TraceSession::detach()
         tracer_->removeSink(timeline_.get());
     if (progress_)
         tracer_->removeSink(progress_.get());
+    if (blame_)
+        tracer_->removeSink(&blame_->sink());
     tracer_ = nullptr;
 }
 
@@ -255,6 +271,17 @@ TraceSession::finish()
             std::printf("hostprof: wrote %s\n", opts_.hostprofPath.c_str());
         else
             std::fprintf(stderr, "hostprof: %s\n", error.c_str());
+    }
+    // Blame is a separate document for the same reason as hostprof:
+    // every other artifact must stay byte-identical with and without
+    // --blame — attribution observes the run, never perturbs it.
+    if (blame_) {
+        const Json report = blame_->report();
+        std::string error;
+        if (writeProfileReport(opts_.blamePath, report, &error))
+            std::printf("blame: wrote %s\n", opts_.blamePath.c_str());
+        else
+            std::fprintf(stderr, "blame: %s\n", error.c_str());
     }
 }
 

@@ -20,6 +20,10 @@
  *                  event kind, queue telemetry, sim-rate) and write
  *                  the tsm-hostprof-v1 document to FILE (render with
  *                  tools/tsm_hotspot, gate with tools/tsm_bench_diff)
+ *   --blame=FILE   attribute every wait to the flow that occupied the
+ *                  contended resource and write the tsm-blame-v1
+ *                  document to FILE (render with tools/tsm_blame,
+ *                  heatmap with tools/tsm_top)
  *
  * A TraceSession owns the sinks the options imply and attaches them to
  * whichever Tracer the harness is currently driving. The tracer is
@@ -41,6 +45,7 @@
 
 namespace tsm {
 
+class BlameCollector;
 class HostProfiler;
 class ProfileCollector;
 class ProgressSink;
@@ -75,6 +80,9 @@ struct TraceOptions
 
     /** Host-profile output path; empty = no host profiling. */
     std::string hostprofPath;
+
+    /** Blame document output path; empty = no blame attribution. */
+    std::string blamePath;
 
     /**
      * Scan argv for the options above, removing every recognized
@@ -143,6 +151,13 @@ class TraceSession
     HostProfiler *hostprof() { return hostprof_.get(); }
 
     /**
+     * The blame collector, or nullptr when --blame is off. Use it to
+     * attach the SSN schedule's compile-time attribution before
+     * finish() — runScheduledScenario does this automatically.
+     */
+    BlameCollector *blame() { return blame_.get(); }
+
+    /**
      * Stamp run identity (bench name, seed) on every attached
      * collector — currently the profile collector and the timeline
      * sampler. Harness-specific extras (schedule, extra scalars) still
@@ -167,6 +182,7 @@ class TraceSession
     std::unique_ptr<TimelineSampler> timeline_;
     std::unique_ptr<ProgressSink> progress_;
     std::unique_ptr<HostProfiler> hostprof_;
+    std::unique_ptr<BlameCollector> blame_;
     Tracer *tracer_ = nullptr;
     bool finished_ = false;
 };

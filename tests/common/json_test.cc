@@ -96,6 +96,64 @@ TEST(Json, ParseErrorsReport)
     EXPECT_FALSE(error.empty());
 }
 
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    std::string error;
+    // One escape from each UTF-8 length class: ASCII, 2-byte, 3-byte,
+    // and an astral code point spelled as a surrogate pair.
+    const Json v = Json::parse(
+        "\"\\u0041 \\u00e9 \\u20ac \\ud83d\\ude00\"", &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(v.str(), "A \xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80");
+}
+
+TEST(Json, UnicodeEscapesRoundTripByteStably)
+{
+    // parse -> serialize -> parse: after the first serialize (which
+    // emits the decoded UTF-8 bytes raw), the text is a fixed point.
+    std::string error;
+    const Json first = Json::parse(
+        "{\"k\\u00e9y\": \"caf\\u00e9 \\u2014 \\ud834\\udd1e\"}", &error);
+    ASSERT_TRUE(error.empty()) << error;
+    const std::string text = first.dump();
+    const Json second = Json::parse(text, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(second.dump(), text);
+    EXPECT_EQ(first["k\xc3\xa9y"].str(),
+              "caf\xc3\xa9 \xe2\x80\x94 \xf0\x9d\x84\x9e");
+}
+
+TEST(Json, ControlCharEscapesRoundTrip)
+{
+    // escapeTo writes control chars as \u00XX; the parser must read
+    // them back to the same bytes.
+    const Json s(std::string("a\x01b\x1f"));
+    const std::string text = s.dump();
+    std::string error;
+    const Json back = Json::parse(text, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.str(), s.str());
+    EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Json, MalformedUnicodeEscapesAreErrors)
+{
+    const char *bad[] = {
+        "\"\\u12\"",            // truncated escape
+        "\"\\u12g4\"",          // non-hex digit
+        "\"\\udc00\"",          // lone low surrogate
+        "\"\\ud800\"",          // unpaired high surrogate at EOS
+        "\"\\ud800x\"",         // high surrogate not followed by \u
+        "\"\\ud800\\u0041\"",   // high surrogate + non-low escape
+        "\"\\ud800\\ud800\"",   // high surrogate + another high
+    };
+    for (const char *text : bad) {
+        std::string error;
+        EXPECT_TRUE(Json::parse(text, &error).isNull()) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
 TEST(Json, DumpIsDeterministic)
 {
     auto build = [] {

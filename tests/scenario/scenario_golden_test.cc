@@ -48,13 +48,14 @@ loadChecked(const std::string &path)
 std::string
 journalOfTransfers(const Topology &topo,
                    const std::vector<TensorTransfer> &transfers,
-                   const std::string &bench)
+                   const std::string &bench, std::uint64_t seed = 1,
+                   SsnConfig ssn = {})
 {
     std::ostringstream text;
     JournalSink sink(text);
     TraceSession inactive;
-    runScheduledScenario(inactive, topo, transfers, bench, 1, 0.0, {},
-                         {&sink});
+    runScheduledScenario(inactive, topo, transfers, bench, seed, 0.0,
+                         ssn, {&sink});
     return text.str();
 }
 
@@ -64,6 +65,56 @@ expectCanonicalOnDisk(const std::string &path)
     const Scenario sc = loadChecked(path);
     EXPECT_EQ(dumpScenario(sc), fileBytes(path))
         << path << " is not stored in canonical serialized form";
+}
+
+TEST(ScenarioGolden, Fig08FileMatchesPrePortTransfers)
+{
+    const std::string path =
+        TSM_SCENARIO_DIR "/fig08_ssn_vs_hw_contention.json";
+    expectCanonicalOnDisk(path);
+
+    // The exact flows the bench hand-built before the port: four
+    // contending senders onto TSP 2 inside the triple-ring node,
+    // seed 6, two extra hops of non-minimal spreading.
+    const Topology node = Topology::makeNode(NodeWiring::TripleRing);
+    std::vector<TensorTransfer> transfers;
+    for (unsigned f = 0; f < 4; ++f) {
+        TensorTransfer t;
+        t.flow = f + 1;
+        t.src = TspId(f < 2 ? f : f + 1); // 0, 1, 3, 4
+        t.dst = 2;
+        t.vectors = 256;
+        transfers.push_back(t);
+    }
+    const std::string golden =
+        journalOfTransfers(node, transfers, "fig08_ssn_vs_hw_contention",
+                           6, {.maxExtraHops = 2});
+
+    const ScenarioExecution exec = executeScenario(loadChecked(path));
+    EXPECT_FALSE(exec.journal.empty());
+    EXPECT_EQ(exec.journal, golden);
+}
+
+TEST(ScenarioGolden, Fig10FileMatchesPrePortTransfers)
+{
+    const std::string path =
+        TSM_SCENARIO_DIR "/fig10_nonminimal_routing.json";
+    expectCanonicalOnDisk(path);
+
+    // The figure's scheduler cross-check transfer: 64 KB from TSP 0
+    // to TSP 1 spread across the full mesh's non-minimal paths.
+    const Topology node = Topology::makeNode();
+    TensorTransfer t;
+    t.flow = 1;
+    t.src = 0;
+    t.dst = 1;
+    t.vectors = std::uint32_t(bytesToVectors(64 * kKiB));
+    const std::string golden =
+        journalOfTransfers(node, {t}, "fig10_nonminimal_routing");
+
+    const ScenarioExecution exec = executeScenario(loadChecked(path));
+    EXPECT_FALSE(exec.journal.empty());
+    EXPECT_EQ(exec.journal, golden);
 }
 
 TEST(ScenarioGolden, Fig14FileMatchesPrePortTransfers)
@@ -182,12 +233,16 @@ TEST(ScenarioGolden, ExecuteScenarioWaterfallsAreExact)
     // The fuzzer's waterfall invariant holds on the real figure
     // scenarios too, not just generated ones.
     for (const char *name :
-         {"/fig14_distributed_matmul.json", "/fig17_bert_latency.json",
+         {"/fig08_ssn_vs_hw_contention.json",
+          "/fig10_nonminimal_routing.json",
+          "/fig14_distributed_matmul.json", "/fig17_bert_latency.json",
           "/fig19_cholesky.json"}) {
         const ScenarioExecution exec = executeScenario(
             loadChecked(std::string(TSM_SCENARIO_DIR) + name));
         EXPECT_TRUE(exec.allSpansClosed()) << name;
         EXPECT_TRUE(exec.waterfallsExact()) << name;
+        std::string why;
+        EXPECT_TRUE(exec.blameExact(&why)) << name << ": " << why;
     }
 }
 

@@ -15,7 +15,12 @@
  *   waterfall  every transfer's serialize + flight + forward + wait
  *              stages sum *exactly* to its observed latency, every
  *              span closes, and the span count equals the vectors
- *              moved.
+ *              moved;
+ *   blame      the tsm-blame-v1 contention attribution is exact (per
+ *              transfer and per link the blamed shares sum exactly to
+ *              the waits), its per-link waits reconcile with the
+ *              profiler's queue-delay account, and two executions
+ *              produce byte-identical blame documents.
  *
  * On a failure the scenario is greedily shrunk (re-testing candidate
  * simplifications until none still fails) and the minimal reproducer
@@ -47,6 +52,7 @@ struct Invariants
     bool roundtrip = true;
     bool journal = true;
     bool waterfall = true;
+    bool blame = true;
 };
 
 /**
@@ -70,16 +76,25 @@ check(const Scenario &sc, const Invariants &which,
             return "roundtrip";
     }
 
-    if (which.journal || which.waterfall) {
+    if (which.journal || which.waterfall || which.blame) {
         const ScenarioExecution first = executeScenario(sc, {}, hp);
         if (which.waterfall &&
             (!first.allSpansClosed() || !first.waterfallsExact()))
             return "waterfall";
-        if (which.journal) {
+        if (which.blame && !first.blameExact())
+            return "blame";
+        if (which.journal || which.blame) {
             const ScenarioExecution second = executeScenario(sc);
-            if (first.journal.empty() ||
-                first.journal != second.journal)
+            if (which.journal &&
+                (first.journal.empty() ||
+                 first.journal != second.journal))
                 return "journal";
+            // Same-seed blame must be byte-deterministic, like the
+            // journal — shares and chains included, not just totals.
+            if (which.blame &&
+                (first.blameText.empty() ||
+                 first.blameText != second.blameText))
+                return "blame";
         }
     }
     return nullptr;
@@ -96,6 +111,7 @@ shrink(Scenario sc, const char *failed, const Invariants &which,
     only.journal = which.journal && std::string(failed) == "journal";
     only.waterfall = which.waterfall &&
                      std::string(failed) == "waterfall";
+    only.blame = which.blame && std::string(failed) == "blame";
 
     bool shrunk = true;
     while (shrunk) {
@@ -130,6 +146,7 @@ main(int argc, char **argv)
     bool keepGoing = false;
     bool quiet = false;
     bool stats = false;
+    unsigned progress = 0;
 
     CliParser cli("tsm_fuzz");
     cli.addValue("--seed", &seed, "first generator seed (default 1)");
@@ -140,7 +157,7 @@ main(int argc, char **argv)
     cli.addValue("--max-vectors", &maxVectors,
                  "tensor-size bound in vectors (default 48)");
     cli.addList("--skip-invariant", &skip,
-                "invariants to skip: roundtrip,journal,waterfall");
+                "invariants to skip: roundtrip,journal,waterfall,blame");
     cli.addValue("--save", &save,
                  "directory for shrunk reproducers (default .)");
     cli.addValue("--replay", &replay,
@@ -156,6 +173,9 @@ main(int argc, char **argv)
     cli.addValue("--hostprof-dir", &hostprofDir,
                  "write one tsm-hostprof-v1 file per case to DIR "
                  "(implies --stats)");
+    cli.addValue("--progress", &progress,
+                 "heartbeat to stderr every N cases, for long CI runs "
+                 "(0 = off)");
     if (!cli.parse(argc, argv))
         return 2;
     cfg.maxVectors = std::uint32_t(maxVectors);
@@ -170,15 +190,18 @@ main(int argc, char **argv)
             which.journal = false;
         else if (s == "waterfall")
             which.waterfall = false;
+        else if (s == "blame")
+            which.blame = false;
         else {
             std::fprintf(stderr,
                          "tsm_fuzz: unknown invariant \"%s\" (known: "
-                         "roundtrip, journal, waterfall)\n",
+                         "roundtrip, journal, waterfall, blame)\n",
                          s.c_str());
             return 2;
         }
     }
-    if (!which.roundtrip && !which.journal && !which.waterfall) {
+    if (!which.roundtrip && !which.journal && !which.waterfall &&
+        !which.blame) {
         std::fprintf(stderr,
                      "tsm_fuzz: every invariant skipped — nothing to "
                      "check\n");
@@ -224,6 +247,15 @@ main(int argc, char **argv)
     unsigned profiled = 0;
     for (unsigned i = 0; i < cases; ++i) {
         const std::uint64_t s = seed + i;
+        if (progress > 0 && i % progress == 0) {
+            // stderr so the heartbeat survives a redirected stdout and
+            // shows up unbuffered in CI logs.
+            std::fprintf(stderr,
+                         "tsm_fuzz: case %u/%u (seed %llu), %u "
+                         "failure%s so far\n",
+                         i + 1, cases, (unsigned long long)s, failures,
+                         failures == 1 ? "" : "s");
+        }
         const Scenario sc = generateScenario(s, cfg);
         HostProfiler hp;
         const char *failed = check(sc, which, stats ? &hp : nullptr);

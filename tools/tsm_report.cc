@@ -6,11 +6,16 @@
  * functional-unit utilization, top-k bottleneck links with queueing
  * percentiles, HAC telemetry, and the SSN critical-path breakdown.
  *
- *   tsm_report [--top=N] [--hostprof=FILE] REPORT.json...
+ *   tsm_report [--top=N] [--hostprof=FILE] [--blame=FILE] REPORT.json...
  *
  * With --hostprof=FILE (a tsm-hostprof-v1 document from the same
  * run), the summary's wall-clock/sim-rate footer is filled in;
  * without it the footer honestly reads "n/a".
+ *
+ * With --blame=FILE (a tsm-blame-v1 document from the same run), the
+ * contention-attribution summary — wait decomposition, top blamed
+ * flow pairs, blocked-by chains — is appended after the profile
+ * summaries.
  */
 
 #include <cstdio>
@@ -19,6 +24,7 @@
 
 #include "common/cli.hh"
 #include "hostprof/hostprof.hh"
+#include "prof/blame.hh"
 #include "prof/report.hh"
 
 int
@@ -26,10 +32,13 @@ main(int argc, char **argv)
 {
     unsigned top = 5;
     std::string hostprofPath;
+    std::string blamePath;
     tsm::CliParser cli("tsm_report");
     cli.addValue("--top", &top, "links shown in the bottleneck table");
     cli.addValue("--hostprof", &hostprofPath,
                  "companion tsm-hostprof-v1 file for the sim-rate footer");
+    cli.addValue("--blame", &blamePath,
+                 "companion tsm-blame-v1 file for the contention section");
     cli.allowPositional();
     if (!cli.parse(argc, argv))
         return 2;
@@ -55,6 +64,25 @@ main(int argc, char **argv)
                          "document\n",
                          hostprofPath.c_str(), tsm::kHostprofSchema);
             host = tsm::Json();
+            ++failures;
+        }
+    }
+    tsm::Json blame;
+    if (!blamePath.empty()) {
+        std::ifstream f(blamePath, std::ios::binary);
+        std::ostringstream text;
+        std::string error;
+        if (f)
+            text << f.rdbuf();
+        if (f)
+            blame = tsm::Json::parse(text.str(), &error);
+        if (blame.isNull() || !blame.has("schema") ||
+            blame["schema"].kind() != tsm::Json::Kind::String ||
+            blame["schema"].str() != tsm::kBlameSchema) {
+            std::fprintf(stderr, "tsm_report: %s: not a readable %s "
+                         "document\n",
+                         blamePath.c_str(), tsm::kBlameSchema);
+            blame = tsm::Json();
             ++failures;
         }
     }
@@ -91,5 +119,7 @@ main(int argc, char **argv)
                         report, top, host.isNull() ? nullptr : &host)
                         .c_str());
     }
+    if (!blame.isNull())
+        std::printf("\n%s", tsm::renderBlameSummary(blame, top).c_str());
     return failures == 0 ? 0 : 1;
 }

@@ -9,6 +9,10 @@
  *   tsm_top [--cols=N] [--links=N] [--chips=N] [--hostprof=FILE]
  *           TIMELINE.json...
  *
+ * A tsm-blame-v1 document (from --blame) may be given in place of a
+ * timeline: it renders as the links x windows contention heatmap —
+ * where waits piled up instead of where flits flowed.
+ *
  * With --hostprof=FILE (a tsm-hostprof-v1 document from the same
  * run), a wall-clock/sim-rate footer is appended; without it the
  * footer honestly reads "n/a".
@@ -20,6 +24,8 @@
 
 #include "common/cli.hh"
 #include "hostprof/hostprof.hh"
+#include "prof/blame.hh"
+#include "telemetry/contention.hh"
 #include "telemetry/render.hh"
 #include "telemetry/timeline.hh"
 
@@ -92,10 +98,24 @@ main(int argc, char **argv)
             ++failures;
             continue;
         }
-        if (!timeline.has("schema") ||
-            timeline["schema"].str() != tsm::kTimelineSchema) {
-            std::fprintf(stderr, "tsm_top: %s: not a %s document\n", path,
-                         tsm::kTimelineSchema);
+        const std::string schema =
+            timeline.has("schema") &&
+                    timeline["schema"].kind() == tsm::Json::Kind::String
+                ? timeline["schema"].str()
+                : "";
+        if (schema == tsm::kBlameSchema) {
+            if (i > 1)
+                std::printf("\n");
+            std::printf("%s",
+                        tsm::renderContentionHeatmap(timeline, opts.cols,
+                                                     opts.maxLinks)
+                            .c_str());
+            continue;
+        }
+        if (schema != tsm::kTimelineSchema) {
+            std::fprintf(stderr, "tsm_top: %s: not a %s (or %s) "
+                         "document\n",
+                         path, tsm::kTimelineSchema, tsm::kBlameSchema);
             ++failures;
             continue;
         }
