@@ -1,0 +1,25 @@
+#include "common/version.hh"
+
+namespace tsm {
+
+std::string
+toolVersionLine(const char *tool,
+                std::initializer_list<const char *> schemas)
+{
+    std::string out = tool;
+    out += " (tsm";
+    if (schemas.size() > 0) {
+        out += "; supports ";
+        bool first = true;
+        for (const char *s : schemas) {
+            if (!first)
+                out += ", ";
+            out += s;
+            first = false;
+        }
+    }
+    out += ")\n";
+    return out;
+}
+
+} // namespace tsm

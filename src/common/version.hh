@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Tool identity for the --version flag every tsm_* tool carries.
+ *
+ * The tools are versioned by the document schemas they understand,
+ * not by a release number: a tool and a document are compatible iff
+ * the document's "schema" tag is in the tool's supported list, and
+ * that list is exactly what --version prints. Scripts can therefore
+ * probe compatibility before feeding artifacts across tool versions.
+ */
+
+#ifndef TSM_COMMON_VERSION_HH
+#define TSM_COMMON_VERSION_HH
+
+#include <initializer_list>
+#include <string>
+
+namespace tsm {
+
+/**
+ * One-line identity: "NAME (tsm; supports SCHEMA1, SCHEMA2)\n".
+ * `schemas` may be empty for tools that read no documents.
+ */
+std::string toolVersionLine(const char *tool,
+                            std::initializer_list<const char *> schemas);
+
+} // namespace tsm
+
+#endif // TSM_COMMON_VERSION_HH

@@ -55,7 +55,12 @@ Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
                l, flit.flow, flit.seq, depart, dir.occupant.flow,
                dir.occupant.seq, dir.txFreeAt);
 
-    const Tick ser = Tick(kVectorSerializationPs);
+    Tick ser = Tick(kVectorSerializationPs);
+    Tick nominal_prop = linkPropagationPs(link.cls);
+    if (auto it = linkTimings_.find(l); it != linkTimings_.end()) {
+        ser = it->second.serializationPs;
+        nominal_prop = it->second.propagationPs;
+    }
     dir.txFreeAt = depart + ser;
     dir.occupant = {flit.flow, flit.seq, flit.span, depart};
 
@@ -79,7 +84,7 @@ Network::transmit(TspId src, LinkId l, Flit flit, Tick depart)
                                     std::int64_t(flit.seq), flit.span});
     }
 
-    Tick prop = linkPropagationPs(link.cls);
+    Tick prop = nominal_prop;
     if (jitterEnabled_) {
         const double sigma = double(linkJitterPs(link.cls));
         // Truncate at +-4 sigma; latency can never go below a physical
@@ -107,6 +112,8 @@ Network::controlTransmit(TspId src, LinkId l, Flit flit)
     const Link &link = topo_->links()[l];
 
     Tick prop = linkPropagationPs(link.cls);
+    if (auto it = linkTimings_.find(l); it != linkTimings_.end())
+        prop = it->second.propagationPs;
     if (jitterEnabled_) {
         const double sigma = double(linkJitterPs(link.cls));
         double noise = rng_.gaussian(0.0, sigma);

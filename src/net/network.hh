@@ -96,6 +96,20 @@ class Network
         linkErrorModels_[l] = em;
     }
 
+    /**
+     * Override one link's physical timing: serialization time per
+     * vector and propagation delay, both in picoseconds. This is how
+     * the what-if checker re-simulates a counterfactual ("link L at
+     * 2x bandwidth") with a genuinely faster wire instead of a fudged
+     * schedule — the SSN overlap panic still fires if the perturbed
+     * schedule and the perturbed physics disagree.
+     */
+    void
+    setLinkTiming(LinkId l, Tick serialization_ps, Tick propagation_ps)
+    {
+        linkTimings_[l] = {serialization_ps, propagation_ps};
+    }
+
     /** Enable/disable latency jitter (applies to future transmits). */
     void setJitterEnabled(bool on) { jitterEnabled_ = on; }
 
@@ -164,6 +178,13 @@ class Network
     std::uint64_t totalMbes() const;
 
   private:
+    /** Overridden physical timing of one link (setLinkTiming). */
+    struct LinkTiming
+    {
+        Tick serializationPs = 0;
+        Tick propagationPs = 0;
+    };
+
     struct Direction
     {
         /** Transmitter end is free again at this tick. */
@@ -191,6 +212,7 @@ class Network
     bool jitterEnabled_;
     ErrorModel errorModel_;
     std::unordered_map<LinkId, ErrorModel> linkErrorModels_;
+    std::unordered_map<LinkId, LinkTiming> linkTimings_;
 
     std::vector<Direction> directions_; // 2 per link
     std::vector<LinkStats> stats_;      // 1 per link

@@ -3,4 +3,5 @@ tsm_module(prof
     profiler.cc
     report.cc
     ssn_analysis.cc
+    whatif.cc
 )

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Re-simulation of a what-if counterfactual.
+ *
+ * The what-if engine's projections are static claims about a machine
+ * that was never built. This helper builds it: lower the perturbed
+ * schedule to per-chip programs, construct a Network whose perturbed
+ * links genuinely serialize and propagate faster (or whose removed
+ * flow genuinely never transmits), execute on drift-free chips, and
+ * measure the completion the simulator observed. The SSN invariant
+ * panics stay armed — a counterfactual schedule that overlaps a
+ * serialization window or underflows a receive FIFO kills the run —
+ * so agreement is not a numeric coincidence but a full physical
+ * replay. tools/tsm_whatif --check gates simulated == projected
+ * (gap == 0) on every counterfactual it re-simulates.
+ */
+
+#ifndef TSM_RUNTIME_COUNTERFACTUAL_HH
+#define TSM_RUNTIME_COUNTERFACTUAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.hh"
+#include "prof/whatif.hh"
+
+namespace tsm {
+
+/** What one counterfactual re-simulation measured. */
+struct CounterfactualRun
+{
+    /** Completion the simulator observed (last scheduled receive). */
+    Cycle simulatedCompletionCycles = 0;
+
+    /** Completion the lowered programs promise (last Recv issue). */
+    Cycle staticCompletionCycles = 0;
+
+    /** simulated - static; exactness demands 0. */
+    std::int64_t gapCycles = 0;
+
+    /** Data flits the perturbed run delivered. */
+    std::uint64_t flitsDelivered = 0;
+};
+
+/**
+ * Execute `cf` on `topo` with its link-timing overrides applied.
+ * Returns false (with a diagnosis in `*error`) when the perturbed
+ * schedule cannot be lowered — an over-capacity counterfactual is
+ * reported, not simulated.
+ */
+bool runCounterfactual(const Topology &topo,
+                       const WhatIfCounterfactual &cf, std::uint64_t seed,
+                       CounterfactualRun *out,
+                       std::string *error = nullptr);
+
+} // namespace tsm
+
+#endif // TSM_RUNTIME_COUNTERFACTUAL_HH

@@ -7,6 +7,7 @@
 #include "net/network.hh"
 #include "prof/blame.hh"
 #include "prof/report.hh"
+#include "prof/whatif.hh"
 #include "ssn/schedule_trace.hh"
 
 namespace tsm {
@@ -28,6 +29,8 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
         prof->setSchedule(result.schedule, topo, transfers);
     if (BlameCollector *blame = session.blame())
         blame->setSchedule(result.schedule, topo);
+    if (WhatIfCollector *whatif = session.whatif())
+        whatif->setSchedule(result.schedule, topo, transfers);
 
     EventQueue eq;
     session.attach(eq.tracer());

@@ -27,6 +27,15 @@
 namespace tsm {
 
 /**
+ * Serialization window per vector in scheduler cycles: the ceiling of
+ * one vector's wire serialization time (kVectorSerializationPs) in
+ * core cycles. Shared by the ledger, the schedule validator, the
+ * static analyzer and the what-if engine so they can never disagree
+ * about how long a reservation occupies a link direction.
+ */
+inline constexpr Cycle kScheduleWindowCycles = 24;
+
+/**
  * Per-link-direction occupancy of serialization windows, in scheduler
  * cycles. Each reservation occupies [start, start + window).
  */
@@ -39,7 +48,7 @@ class ReservationLedger
      * @param window_cycles Serialization window per vector (24).
      */
     explicit ReservationLedger(std::size_t num_links,
-                               Cycle window_cycles = 24);
+                               Cycle window_cycles = kScheduleWindowCycles);
 
     /**
      * Earliest cycle >= `earliest` at which direction (link, from_a)

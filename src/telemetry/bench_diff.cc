@@ -233,6 +233,63 @@ diffBlame(DiffResult &out, const Json &base, const Json &next,
     }
 }
 
+void
+diffWhatif(DiffResult &out, const Json &base, const Json &next,
+           double tol)
+{
+    // The schedule-level baseline is deterministic per scenario, so a
+    // shifted makespan means the scheduler itself changed behavior.
+    comparePath(out, base, next, "base.makespan_cycles",
+                MetricDirection::Stable, tol);
+    comparePath(out, base, next, "base.static_completion_cycles",
+                MetricDirection::Stable, tol);
+    comparePath(out, base, next, "base.hops", MetricDirection::Stable,
+                tol);
+    comparePath(out, base, next, "levers_total",
+                MetricDirection::Stable, tol);
+    // Compare levers by identity key, not by rank: a lever's projected
+    // delta drifting or a baseline lever vanishing outright are both
+    // ranking regressions, but two levers legitimately swapping places
+    // within tolerance is not.
+    auto leverByKey = [](const Json &doc,
+                         const std::string &key) -> const Json & {
+        static const Json null;
+        if (doc["levers"].kind() != Json::Kind::Array)
+            return null;
+        for (const Json &l : doc["levers"].items())
+            if (l["key"].kind() == Json::Kind::String &&
+                l["key"].str() == key)
+                return l;
+        return null;
+    };
+    double missing = 0.0;
+    std::size_t compared = 0;
+    if (base["levers"].kind() == Json::Kind::Array) {
+        for (const Json &bl : base["levers"].items()) {
+            if (compared >= 5)
+                break;
+            if (bl["key"].kind() != Json::Kind::String)
+                continue;
+            const std::string key = bl["key"].str();
+            const Json &nl = leverByKey(next, key);
+            if (nl.isNull()) {
+                missing += 1.0;
+                continue;
+            }
+            ++compared;
+            compareMetric(out, "lever." + key + ".delta_cycles",
+                          bl["delta_cycles"].number(),
+                          nl["delta_cycles"].number(),
+                          MetricDirection::Stable, tol);
+            compareMetric(out, "lever." + key + ".rank",
+                          bl["rank"].number(), nl["rank"].number(),
+                          MetricDirection::Stable, tol);
+        }
+    }
+    compareMetric(out, "levers.top5_missing_in_new", 0.0, missing,
+                  MetricDirection::Stable, tol);
+}
+
 } // namespace
 
 DiffResult
@@ -254,6 +311,8 @@ diffReports(const Json &base, const Json &next, double tol)
         diffHostprof(out, base, next, tol);
     else if (baseSchema == "tsm-blame-v1")
         diffBlame(out, base, next, tol);
+    else if (baseSchema == "tsm-whatif-v1")
+        diffWhatif(out, base, next, tol);
     else
         diffProfile(out, base, next, tol);
     return out;

@@ -3,8 +3,9 @@
  * Cross-run bench comparison: the regression-gate core behind
  * tools/tsm_bench_diff.
  *
- * Compares two `tsm-profile-v1` reports (or two `tsm-timeline-v1`
- * documents) metric by metric against a relative tolerance. Each
+ * Compares two `tsm-profile-v1` reports (or two `tsm-timeline-v1`,
+ * `tsm-hostprof-v1`, `tsm-blame-v1` or `tsm-whatif-v1` documents)
+ * metric by metric against a relative tolerance. Each
  * metric carries a *direction* — for `cycles` bigger is worse, for
  * `gbytes_per_sec` smaller is worse, for `flits` any drift beyond
  * tolerance means the run measured different work — and a comparison
@@ -12,6 +13,12 @@
  * regressed metric makes the whole diff a regression (tsm_bench_diff
  * exits 1), which is what lets CI pin the checked-in BENCH_*.json
  * baselines: the bench trajectory becomes a gate instead of a log.
+ *
+ * What-if documents diff their ranked lever tables by identity key
+ * ("link_bandwidth:3:x2"), not by position: the baseline's top levers
+ * must still exist in the new run with the same rank and a projected
+ * delta within tolerance, so a silent reshuffle of the optimization
+ * guidance gates even when the base makespan is unchanged.
  */
 
 #ifndef TSM_TELEMETRY_BENCH_DIFF_HH

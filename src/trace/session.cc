@@ -7,6 +7,7 @@
 #include "hostprof/hostprof.hh"
 #include "prof/blame.hh"
 #include "prof/report.hh"
+#include "prof/whatif.hh"
 #include "telemetry/phase.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/timeline.hh"
@@ -41,6 +42,8 @@ TraceOptions::fromArgs(int &argc, char **argv)
             opts.hostprofPath = arg + 11;
         } else if (std::strncmp(arg, "--blame=", 8) == 0) {
             opts.blamePath = arg + 8;
+        } else if (std::strncmp(arg, "--whatif=", 9) == 0) {
+            opts.whatifPath = arg + 9;
         } else {
             argv[out++] = argv[i];
         }
@@ -71,6 +74,9 @@ TraceOptions::registerFlags(CliParser &parser)
                     "write the tsm-hostprof-v1 host profile to FILE");
     parser.addValue("--blame", &blamePath,
                     "write the tsm-blame-v1 contention attribution to FILE");
+    parser.addValue("--whatif", &whatifPath,
+                    "write the tsm-whatif-v1 counterfactual lever table "
+                    "to FILE");
 }
 
 bool
@@ -79,7 +85,7 @@ TraceOptions::instrumented() const
     return !tracePath.empty() || metrics || digest || !reportPath.empty() ||
            !journalPath.empty() || !timelinePath.empty() ||
            progressMegacycles > 0 || !hostprofPath.empty() ||
-           !blamePath.empty();
+           !blamePath.empty() || !whatifPath.empty();
 }
 
 TraceSession::TraceSession() = default;
@@ -105,6 +111,8 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
         hostprof_ = std::make_unique<HostProfiler>();
     if (!opts_.blamePath.empty())
         blame_ = std::make_unique<BlameCollector>();
+    if (!opts_.whatifPath.empty())
+        whatif_ = std::make_unique<WhatIfCollector>();
 }
 
 TraceSession::~TraceSession()
@@ -116,7 +124,8 @@ bool
 TraceSession::active() const
 {
     return chrome_ || metricsSink_ || digestSink_ || journal_ ||
-           profile_ || timeline_ || progress_ || hostprof_ || blame_;
+           profile_ || timeline_ || progress_ || hostprof_ || blame_ ||
+           whatif_;
 }
 
 void
@@ -137,6 +146,10 @@ TraceSession::setRun(const std::string &bench, std::uint64_t seed)
     if (blame_) {
         blame_->setBench(bench);
         blame_->setSeed(seed);
+    }
+    if (whatif_) {
+        whatif_->setBench(bench);
+        whatif_->setSeed(seed);
     }
 }
 
@@ -161,6 +174,8 @@ TraceSession::attach(Tracer &tracer)
         tracer.addSink(progress_.get());
     if (blame_)
         tracer.addSink(&blame_->sink());
+    if (whatif_)
+        tracer.addSink(&whatif_->sink());
 }
 
 void
@@ -184,6 +199,8 @@ TraceSession::detach()
         tracer_->removeSink(progress_.get());
     if (blame_)
         tracer_->removeSink(&blame_->sink());
+    if (whatif_)
+        tracer_->removeSink(&whatif_->sink());
     tracer_ = nullptr;
 }
 
@@ -282,6 +299,17 @@ TraceSession::finish()
             std::printf("blame: wrote %s\n", opts_.blamePath.c_str());
         else
             std::fprintf(stderr, "blame: %s\n", error.c_str());
+    }
+    // Same isolation rule as hostprof and blame: the what-if document
+    // rides alone so every other artifact stays byte-identical with
+    // and without --whatif.
+    if (whatif_) {
+        const Json report = whatif_->report();
+        std::string error;
+        if (writeProfileReport(opts_.whatifPath, report, &error))
+            std::printf("whatif: wrote %s\n", opts_.whatifPath.c_str());
+        else
+            std::fprintf(stderr, "whatif: %s\n", error.c_str());
     }
 }
 

@@ -24,6 +24,11 @@
  *                  contended resource and write the tsm-blame-v1
  *                  document to FILE (render with tools/tsm_blame,
  *                  heatmap with tools/tsm_top)
+ *   --whatif=FILE  project counterfactual perturbations (faster links,
+ *                  faster compute, removed flows) over the run's SSN
+ *                  schedule and write the ranked tsm-whatif-v1 lever
+ *                  table to FILE (render and re-simulate with
+ *                  tools/tsm_whatif, gate with tools/tsm_bench_diff)
  *
  * A TraceSession owns the sinks the options imply and attaches them to
  * whichever Tracer the harness is currently driving. The tracer is
@@ -50,6 +55,7 @@ class HostProfiler;
 class ProfileCollector;
 class ProgressSink;
 class TimelineSampler;
+class WhatIfCollector;
 
 /** Parsed trace-related command-line options. */
 struct TraceOptions
@@ -83,6 +89,9 @@ struct TraceOptions
 
     /** Blame document output path; empty = no blame attribution. */
     std::string blamePath;
+
+    /** What-if document output path; empty = no what-if analysis. */
+    std::string whatifPath;
 
     /**
      * Scan argv for the options above, removing every recognized
@@ -158,6 +167,13 @@ class TraceSession
     BlameCollector *blame() { return blame_.get(); }
 
     /**
+     * The what-if collector, or nullptr when --whatif is off. Use it
+     * to attach the SSN schedule so the counterfactual levers can be
+     * projected — runScheduledScenario does this automatically.
+     */
+    WhatIfCollector *whatif() { return whatif_.get(); }
+
+    /**
      * Stamp run identity (bench name, seed) on every attached
      * collector — currently the profile collector and the timeline
      * sampler. Harness-specific extras (schedule, extra scalars) still
@@ -183,6 +199,7 @@ class TraceSession
     std::unique_ptr<ProgressSink> progress_;
     std::unique_ptr<HostProfiler> hostprof_;
     std::unique_ptr<BlameCollector> blame_;
+    std::unique_ptr<WhatIfCollector> whatif_;
     Tracer *tracer_ = nullptr;
     bool finished_ = false;
 };

@@ -17,6 +17,7 @@
 #include "net/network.hh"
 #include "prof/report.hh"
 #include "prof/ssn_analysis.hh"
+#include "prof/whatif.hh"
 #include "ssn/scheduler.hh"
 
 namespace tsm {
@@ -163,6 +164,46 @@ TEST(SsnAnalysis, PredictionMatchesSimulationOnContentionFreeRun)
     EXPECT_TRUE(report["ssn"]["simulated"].boolean());
     EXPECT_EQ(report["ssn"]["gap_cycles"].integer(), 0);
     EXPECT_TRUE(report["ssn"]["contention_free"].boolean());
+}
+
+TEST(SsnAnalysis, CriticalPathHopsHaveZeroBindingSlack)
+{
+    // Every critical-path hop must depart exactly at its binding
+    // constraint: a hop labeled start/pipeline departs the cycle it
+    // became feasible (wait == 0), and a contention hop's wait is
+    // fully explained by the constraint graph — verified by the
+    // what-if engine's identity recomputation reproducing every
+    // departure cycle with zero residual slack.
+    const Topology topo = Topology::makeNode();
+    SsnScheduler scheduler(topo);
+    std::vector<TensorTransfer> transfers;
+    transfers.push_back(makeTransfer(1, 1, 0, 24));
+    transfers.push_back(makeTransfer(2, 2, 0, 16));
+    transfers.push_back(makeTransfer(3, 3, 0, 8, 50));
+    const auto sched = scheduler.schedule(transfers);
+    const SsnAnalysis a = analyzeSchedule(sched, topo, transfers);
+
+    ASSERT_FALSE(a.criticalPath.empty());
+    EXPECT_GT(a.contendedHops, 0u);
+    for (const CritHop &ch : a.criticalPath) {
+        if (ch.edge == CritEdge::Contention) {
+            EXPECT_GT(ch.wait, 0u);
+        } else {
+            EXPECT_EQ(ch.wait, 0u)
+                << critEdgeName(ch.edge) << " hop on link " << ch.link
+                << " departed " << ch.wait
+                << " cycles after it became feasible";
+        }
+        EXPECT_GE(ch.arrive, ch.depart);
+    }
+    expectDecompositionExact(a);
+
+    // Zero residual slack anywhere: the constraint graph alone
+    // explains every departure cycle, so no critical-path hop (and
+    // no other hop) idles past its binding constraint.
+    const WhatIfEngine engine(sched, topo, transfers);
+    std::string why;
+    EXPECT_TRUE(engine.identityExact(&why)) << why;
 }
 
 } // namespace

@@ -185,5 +185,90 @@ TEST(BenchDiff, TimelineDocumentsCompareWindows)
     EXPECT_TRUE(rerouted.regressed); // flit drift = different work
 }
 
+Json
+whatifDoc(double makespan, double topDelta, double topRank,
+          bool dropTopLever = false)
+{
+    Json doc = Json::object();
+    doc.set("schema", "tsm-whatif-v1");
+    Json base = Json::object();
+    base.set("makespan_cycles", makespan);
+    base.set("static_completion_cycles", makespan + 8.0);
+    base.set("hops", 208.0);
+    doc.set("base", std::move(base));
+    Json levers = Json::array();
+    struct Row
+    {
+        const char *key;
+        double delta;
+    };
+    const Row rows[] = {{"flow_removal:99:x2", topDelta},
+                        {"link_bandwidth:1:x2", 12.0},
+                        {"link_latency:1:x2", 1.0}};
+    double rank = 1.0;
+    for (const Row &row : rows) {
+        if (dropTopLever && rank == 1.0) {
+            rank += 1.0;
+            continue;
+        }
+        Json lever = Json::object();
+        lever.set("rank", rank == 1.0 ? topRank : rank);
+        lever.set("key", row.key);
+        lever.set("delta_cycles", row.delta);
+        levers.push(std::move(lever));
+        rank += 1.0;
+    }
+    doc.set("levers", std::move(levers));
+    doc.set("levers_total", 3.0);
+    return doc;
+}
+
+TEST(BenchDiff, WhatifSelfCompareIsClean)
+{
+    const Json doc = whatifDoc(1341, 240, 1);
+    const DiffResult diff = diffReports(doc, doc, 0.05);
+    EXPECT_FALSE(diff.regressed);
+    ASSERT_NE(find(diff, "base.makespan_cycles"), nullptr);
+    ASSERT_NE(find(diff, "lever.flow_removal:99:x2.delta_cycles"),
+              nullptr);
+    ASSERT_NE(find(diff, "lever.flow_removal:99:x2.rank"), nullptr);
+    const MetricDelta *missing = find(diff, "levers.top5_missing_in_new");
+    ASSERT_NE(missing, nullptr);
+    EXPECT_EQ(missing->next, 0.0);
+}
+
+TEST(BenchDiff, WhatifGatesOnLeverDeltaDrift)
+{
+    const Json base = whatifDoc(1341, 240, 1);
+    const DiffResult drifted =
+        diffReports(base, whatifDoc(1341, 120, 1), 0.05);
+    EXPECT_TRUE(drifted.regressed);
+    const MetricDelta *m =
+        find(drifted, "lever.flow_removal:99:x2.delta_cycles");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->verdict, MetricVerdict::Regressed);
+}
+
+TEST(BenchDiff, WhatifGatesOnLeverRankAndDisappearance)
+{
+    const Json base = whatifDoc(1341, 240, 1);
+    const DiffResult demoted =
+        diffReports(base, whatifDoc(1341, 240, 3), 0.05);
+    EXPECT_TRUE(demoted.regressed);
+    const MetricDelta *rank =
+        find(demoted, "lever.flow_removal:99:x2.rank");
+    ASSERT_NE(rank, nullptr);
+    EXPECT_EQ(rank->verdict, MetricVerdict::Regressed);
+
+    const DiffResult vanished =
+        diffReports(base, whatifDoc(1341, 240, 1, true), 0.05);
+    EXPECT_TRUE(vanished.regressed);
+    const MetricDelta *missing =
+        find(vanished, "levers.top5_missing_in_new");
+    ASSERT_NE(missing, nullptr);
+    EXPECT_EQ(missing->verdict, MetricVerdict::Regressed);
+    EXPECT_EQ(missing->next, 1.0);
+}
+
 } // namespace
 } // namespace tsm

@@ -17,7 +17,13 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "common/version.hh"
+#include "hostprof/hostprof.hh"
+#include "prof/blame.hh"
+#include "prof/report.hh"
+#include "prof/whatif.hh"
 #include "telemetry/bench_diff.hh"
+#include "telemetry/timeline.hh"
 
 namespace {
 
@@ -47,13 +53,26 @@ int
 main(int argc, char **argv)
 {
     double tol = 0.05;
+    bool version = false;
     tsm::CliParser cli("tsm_bench_diff");
     cli.addValue("--tol", &tol,
                  "relative tolerance (0.05 = 5%) before a directional "
                  "metric gates");
     cli.allowPositional();
+    cli.addFlag("--version", &version,
+                "print the tool name and supported schemas");
     if (!cli.parse(argc, argv))
         return 2;
+    if (version) {
+        std::printf("%s",
+                    tsm::toolVersionLine(
+                        "tsm_bench_diff",
+                        {tsm::kProfileSchema, tsm::kHostprofSchema,
+                         tsm::kTimelineSchema, tsm::kBlameSchema,
+                         tsm::kWhatIfSchema})
+                        .c_str());
+        return 0;
+    }
     if (argc != 3) {
         std::fprintf(stderr,
                      "tsm_bench_diff: expected BASELINE.json NEW.json\n%s",

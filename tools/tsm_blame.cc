@@ -23,6 +23,7 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "common/version.hh"
 #include "prof/blame.hh"
 #include "telemetry/contention.hh"
 
@@ -33,6 +34,7 @@ main(int argc, char **argv)
     unsigned cols = 64;
     unsigned links = 12;
     bool check = false;
+    bool version = false;
     tsm::CliParser cli("tsm_blame");
     cli.addValue("--top", &top,
                  "rows shown per section (links, pairs, chains)");
@@ -43,8 +45,15 @@ main(int argc, char **argv)
                 "verify the blame exactness invariants instead of "
                 "rendering");
     cli.allowPositional();
+    cli.addFlag("--version", &version,
+                "print the tool name and supported schemas");
     if (!cli.parse(argc, argv))
         return 2;
+    if (version) {
+        std::printf("%s", tsm::toolVersionLine("tsm_blame",
+            {tsm::kBlameSchema}).c_str());
+        return 0;
+    }
     if (argc < 2) {
         std::fprintf(stderr, "tsm_blame: no blame files given\n%s",
                      cli.usage().c_str());

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/version.hh"
 #include "trace/journal.hh"
 #include "trace/span.hh"
 
@@ -80,14 +81,22 @@ main(int argc, char **argv)
 {
     unsigned context = 3;
     unsigned ancestry_max = 32;
+    bool version = false;
     tsm::CliParser cli("tsm_diverge");
     cli.addValue("--context", &context,
                  "matching events shown before the divergence");
     cli.addValue("--ancestry", &ancestry_max,
                  "causal span-ancestry events shown (most recent first)");
     cli.allowPositional();
+    cli.addFlag("--version", &version,
+                "print the tool name and supported schemas");
     if (!cli.parse(argc, argv))
         return 2;
+    if (version) {
+        std::printf("%s", tsm::toolVersionLine("tsm_diverge",
+            {"tsm-journal-v1"}).c_str());
+        return 0;
+    }
     if (argc != 3) {
         std::fprintf(stderr,
                      "tsm_diverge: expected exactly two journal files\n%s",

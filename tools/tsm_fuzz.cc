@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/cli.hh"
+#include "common/version.hh"
 #include "hostprof/hostprof.hh"
 #include "prof/report.hh"
 #include "scenario/generator.hh"
@@ -148,6 +149,7 @@ main(int argc, char **argv)
     bool stats = false;
     unsigned progress = 0;
 
+    bool version = false;
     CliParser cli("tsm_fuzz");
     cli.addValue("--seed", &seed, "first generator seed (default 1)");
     cli.addValue("--cases", &cases,
@@ -176,8 +178,15 @@ main(int argc, char **argv)
     cli.addValue("--progress", &progress,
                  "heartbeat to stderr every N cases, for long CI runs "
                  "(0 = off)");
+    cli.addFlag("--version", &version,
+                "print the tool name and supported schemas");
     if (!cli.parse(argc, argv))
         return 2;
+    if (version) {
+        std::printf("%s", toolVersionLine("tsm_fuzz",
+            {kScenarioSchema}).c_str());
+        return 0;
+    }
     cfg.maxVectors = std::uint32_t(maxVectors);
     if (!hostprofDir.empty())
         stats = true;

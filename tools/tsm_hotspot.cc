@@ -14,17 +14,26 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "common/version.hh"
 #include "hostprof/hostprof.hh"
 
 int
 main(int argc, char **argv)
 {
     unsigned top = 8;
+    bool version = false;
     tsm::CliParser cli("tsm_hotspot");
     cli.addValue("--top", &top, "event kinds shown, hottest first");
     cli.allowPositional();
+    cli.addFlag("--version", &version,
+                "print the tool name and supported schemas");
     if (!cli.parse(argc, argv))
         return 2;
+    if (version) {
+        std::printf("%s", tsm::toolVersionLine("tsm_hotspot",
+            {tsm::kHostprofSchema}).c_str());
+        return 0;
+    }
     if (argc < 2) {
         std::fprintf(stderr, "tsm_hotspot: no hostprof files given\n%s",
                      cli.usage().c_str());

@@ -23,6 +23,7 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "common/version.hh"
 #include "hostprof/hostprof.hh"
 #include "prof/blame.hh"
 #include "prof/report.hh"
@@ -33,6 +34,7 @@ main(int argc, char **argv)
     unsigned top = 5;
     std::string hostprofPath;
     std::string blamePath;
+    bool version = false;
     tsm::CliParser cli("tsm_report");
     cli.addValue("--top", &top, "links shown in the bottleneck table");
     cli.addValue("--hostprof", &hostprofPath,
@@ -40,8 +42,15 @@ main(int argc, char **argv)
     cli.addValue("--blame", &blamePath,
                  "companion tsm-blame-v1 file for the contention section");
     cli.allowPositional();
+    cli.addFlag("--version", &version,
+                "print the tool name and supported schemas");
     if (!cli.parse(argc, argv))
         return 2;
+    if (version) {
+        std::printf("%s", tsm::toolVersionLine("tsm_report",
+            {tsm::kProfileSchema, tsm::kHostprofSchema, tsm::kBlameSchema}).c_str());
+        return 0;
+    }
     if (argc < 2) {
         std::fprintf(stderr, "tsm_report: no report files given\n%s",
                      cli.usage().c_str());

@@ -23,6 +23,7 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "common/version.hh"
 #include "hostprof/hostprof.hh"
 #include "prof/blame.hh"
 #include "telemetry/contention.hh"
@@ -65,6 +66,7 @@ main(int argc, char **argv)
 {
     tsm::TopOptions opts;
     std::string hostprofPath;
+    bool version = false;
     tsm::CliParser cli("tsm_top");
     cli.addValue("--cols", &opts.cols, "heatmap width in columns");
     cli.addValue("--links", &opts.maxLinks, "links shown, busiest first");
@@ -72,8 +74,15 @@ main(int argc, char **argv)
     cli.addValue("--hostprof", &hostprofPath,
                  "companion tsm-hostprof-v1 file for the sim-rate footer");
     cli.allowPositional();
+    cli.addFlag("--version", &version,
+                "print the tool name and supported schemas");
     if (!cli.parse(argc, argv))
         return 2;
+    if (version) {
+        std::printf("%s", tsm::toolVersionLine("tsm_top",
+            {tsm::kTimelineSchema, tsm::kBlameSchema, tsm::kHostprofSchema}).c_str());
+        return 0;
+    }
     if (argc < 2) {
         std::fprintf(stderr, "tsm_top: no timeline files given\n%s",
                      cli.usage().c_str());
