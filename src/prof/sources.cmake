@@ -1,5 +1,6 @@
 tsm_module(prof
     blame.cc
+    lanes.cc
     profiler.cc
     report.cc
     ssn_analysis.cc

@@ -6,6 +6,7 @@
 #include "arch/chip.hh"
 #include "net/network.hh"
 #include "prof/blame.hh"
+#include "prof/lanes.hh"
 #include "prof/report.hh"
 #include "prof/whatif.hh"
 #include "ssn/schedule_trace.hh"
@@ -18,7 +19,7 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
                      const std::string &bench, std::uint64_t seed,
                      double mbe, SsnConfig ssn,
                      const std::vector<TraceSink *> &extraSinks,
-                     HostProfiler *hostprof)
+                     HostProfiler *hostprof, LaneCollector *extraLanes)
 {
     TracedScenarioResult result;
 
@@ -31,12 +32,20 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
         blame->setSchedule(result.schedule, topo);
     if (WhatIfCollector *whatif = session.whatif())
         whatif->setSchedule(result.schedule, topo, transfers);
+    // Lane collectors fold phases and link directions at event time,
+    // so their schedule must land before the stream starts.
+    if (LaneCollector *lanes = session.lanes())
+        lanes->setSchedule(result.schedule, topo);
+    if (extraLanes)
+        extraLanes->setSchedule(result.schedule, topo);
 
     EventQueue eq;
     session.attach(eq.tracer());
     eq.setHostProfiler(hostprof ? hostprof : session.hostprof());
     for (TraceSink *sink : extraSinks)
         eq.tracer().addSink(sink);
+    if (extraLanes)
+        eq.tracer().addSink(&extraLanes->sink());
     traceSchedule(eq.tracer(), result.schedule);
 
     Network net(topo, eq, Rng(seed));
@@ -59,6 +68,10 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
     for (TraceSink *sink : extraSinks) {
         eq.tracer().removeSink(sink);
         sink->finish();
+    }
+    if (extraLanes) {
+        eq.tracer().removeSink(&extraLanes->sink());
+        extraLanes->sink().finish();
     }
     session.detach();
 

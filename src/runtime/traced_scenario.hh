@@ -51,7 +51,10 @@ struct TracedScenarioResult
  * going through files. `hostprof` overrides the session's own host
  * profiler (session.hostprof() is used when null) — the event queue
  * reports its wall-clock attribution there for the duration of the
- * run.
+ * run. `extraLanes`, when given, is a concurrency-profile collector
+ * outside the session (the fuzzer's in-memory path): unlike a plain
+ * extra sink it needs the schedule *before* the stream starts (for
+ * the lookahead and link directions), so it gets its own hook.
  */
 TracedScenarioResult
 runScheduledScenario(TraceSession &session, const Topology &topo,
@@ -59,7 +62,8 @@ runScheduledScenario(TraceSession &session, const Topology &topo,
                      const std::string &bench, std::uint64_t seed,
                      double mbe = 0.0, SsnConfig ssn = {},
                      const std::vector<TraceSink *> &extraSinks = {},
-                     HostProfiler *hostprof = nullptr);
+                     HostProfiler *hostprof = nullptr,
+                     LaneCollector *extraLanes = nullptr);
 
 } // namespace tsm
 

@@ -5,6 +5,7 @@
 #include "common/format.hh"
 #include "hostprof/hostprof.hh"
 #include "prof/blame.hh"
+#include "prof/lanes.hh"
 #include "prof/report.hh"
 #include "telemetry/progress.hh"
 #include "telemetry/timeline.hh"
@@ -112,6 +113,12 @@ ScenarioExecution::blameExact(std::string *why) const
     return true;
 }
 
+bool
+ScenarioExecution::lanesReconcile(std::string *why) const
+{
+    return checkLanesInvariants(lanes, why);
+}
+
 ScenarioExecution
 executeScenario(const Scenario &scenario,
                 const ScenarioOverrides &overrides, HostProfiler *hostprof)
@@ -128,6 +135,9 @@ executeScenario(const Scenario &scenario,
     BlameCollector blame;
     blame.setBench(scenario.name);
     blame.setSeed(seed);
+    LaneCollector lanes;
+    lanes.setBench(scenario.name);
+    lanes.setSeed(seed);
 
     if (hostprof) {
         hostprof->setBench(scenario.name);
@@ -136,7 +146,8 @@ executeScenario(const Scenario &scenario,
     TraceSession inactive;
     const TracedScenarioResult traced = runScheduledScenario(
         inactive, topo, lowered.transfers, scenario.name, seed, mbe,
-        scenario.ssn, {&journal, &profiler, &blame.sink()}, hostprof);
+        scenario.ssn, {&journal, &profiler, &blame.sink()}, hostprof,
+        &lanes);
     blame.setSchedule(traced.schedule, topo);
 
     ScenarioExecution exec;
@@ -144,6 +155,8 @@ executeScenario(const Scenario &scenario,
     exec.transfers = profiler.transfers();
     exec.blame = blame.report();
     exec.blameText = exec.blame.dump(2);
+    exec.lanes = lanes.report();
+    exec.lanesText = exec.lanes.dump(2);
     for (const auto &[link, acct] : profiler.links()) {
         (void)acct;
         if (const Log2Histogram *h = profiler.queueDelay(link))

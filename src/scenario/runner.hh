@@ -10,12 +10,14 @@
  *    a thin loader: parse the file, run it, print the result.
  *
  *  - executeScenario() runs headless and captures the canonical
- *    journal text, the per-transfer waterfalls, and the tsm-blame-v1
- *    contention attribution in memory. This is the fuzzer's oracle:
- *    run a scenario twice and the two journals (and blame documents)
- *    must be byte-identical; every waterfall must tile its transfer's
+ *    journal text, the per-transfer waterfalls, the tsm-blame-v1
+ *    contention attribution, and the tsm-parallel-v1 concurrency
+ *    profile in memory. This is the fuzzer's oracle: run a scenario
+ *    twice and the two journals (and blame and lanes documents) must
+ *    be byte-identical; every waterfall must tile its transfer's
  *    observed latency exactly; every blame breakdown must sum to its
- *    wait exactly.
+ *    wait exactly; every lane and phase count must reconcile with the
+ *    live event total exactly.
  */
 
 #ifndef TSM_SCENARIO_RUNNER_HH
@@ -78,6 +80,12 @@ struct ScenarioExecution
     /** Canonical serialized blame text (byte-identity oracle). */
     std::string blameText;
 
+    /** The tsm-parallel-v1 concurrency profile document. */
+    Json lanes;
+
+    /** Canonical serialized lanes text (byte-identity oracle). */
+    std::string lanesText;
+
     /** Per-link receive queue-delay sums from the profiler (ps). */
     std::map<LinkId, Tick> linkQueueDelayPs;
 
@@ -105,6 +113,15 @@ struct ScenarioExecution
      * the first mismatch.
      */
     bool blameExact(std::string *why = nullptr) const;
+
+    /**
+     * True if the lanes document passes checkLanesInvariants() — the
+     * per-kind lane totals and the per-phase counts each reconcile
+     * exactly with the live event total, and the projected speedup
+     * bounds are sane (>= 1, monotone, capped by the critical path).
+     * `why`, when given, receives the violations.
+     */
+    bool lanesReconcile(std::string *why = nullptr) const;
 };
 
 /**

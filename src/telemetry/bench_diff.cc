@@ -290,6 +290,62 @@ diffWhatif(DiffResult &out, const Json &base, const Json &next,
                   MetricDirection::Stable, tol);
 }
 
+void
+diffLanes(DiffResult &out, const Json &base, const Json &next,
+          double tol)
+{
+    // The structural shape of the concurrency profile is deterministic
+    // per scenario: same events, same lanes, same phase count. Drift
+    // here means the run folded a different event stream.
+    comparePath(out, base, next, "totals.events",
+                MetricDirection::Stable, tol);
+    comparePath(out, base, next, "lanes_total", MetricDirection::Stable,
+                tol);
+    comparePath(out, base, next, "phases.count",
+                MetricDirection::Stable, tol);
+    // The projected bounds are the payload: shrinking exploitable
+    // parallelism is a regression against the parallel-engine plan,
+    // growing it is an improvement. Match entries by worker count, not
+    // by position.
+    auto boundFor = [](const Json &doc,
+                       std::int64_t workers) -> const Json & {
+        static const Json null;
+        if (doc["speedup"].kind() != Json::Kind::Array)
+            return null;
+        for (const Json &s : doc["speedup"].items())
+            if (s["workers"].integer() == workers)
+                return s["bound"];
+        return null;
+    };
+    if (base["speedup"].kind() == Json::Kind::Array) {
+        for (const Json &bs : base["speedup"].items()) {
+            const std::int64_t workers = bs["workers"].integer();
+            const Json &nb = boundFor(next, workers);
+            if (!nb.isNumber())
+                continue;
+            compareMetric(out,
+                          "speedup." + std::to_string(workers) +
+                              ".bound",
+                          bs["bound"].number(), nb.number(),
+                          MetricDirection::HigherIsBetter, tol);
+        }
+    }
+    comparePath(out, base, next, "speedup_inf",
+                MetricDirection::HigherIsBetter, tol);
+    // A longer critical path eats the bound from below even when the
+    // per-worker table still clears the gate.
+    comparePath(out, base, next, "critical_path.events",
+                MetricDirection::LowerIsBetter, tol);
+    // Cross-lane pressure is context: it explains a bound change but
+    // never gates on its own.
+    comparePath(out, base, next, "totals.cross_lane_events",
+                MetricDirection::Info, tol);
+    comparePath(out, base, next, "totals.same_phase_cross_lane",
+                MetricDirection::Info, tol);
+    comparePath(out, base, next, "lookahead_ps", MetricDirection::Info,
+                tol);
+}
+
 } // namespace
 
 DiffResult
@@ -313,6 +369,8 @@ diffReports(const Json &base, const Json &next, double tol)
         diffBlame(out, base, next, tol);
     else if (baseSchema == "tsm-whatif-v1")
         diffWhatif(out, base, next, tol);
+    else if (baseSchema == "tsm-parallel-v1")
+        diffLanes(out, base, next, tol);
     else
         diffProfile(out, base, next, tol);
     return out;

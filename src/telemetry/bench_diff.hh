@@ -4,8 +4,9 @@
  * tools/tsm_bench_diff.
  *
  * Compares two `tsm-profile-v1` reports (or two `tsm-timeline-v1`,
- * `tsm-hostprof-v1`, `tsm-blame-v1` or `tsm-whatif-v1` documents)
- * metric by metric against a relative tolerance. Each
+ * `tsm-hostprof-v1`, `tsm-blame-v1`, `tsm-whatif-v1` or
+ * `tsm-parallel-v1` documents) metric by metric against a relative
+ * tolerance. Each
  * metric carries a *direction* — for `cycles` bigger is worse, for
  * `gbytes_per_sec` smaller is worse, for `flits` any drift beyond
  * tolerance means the run measured different work — and a comparison

@@ -6,6 +6,7 @@
 
 #include "hostprof/hostprof.hh"
 #include "prof/blame.hh"
+#include "prof/lanes.hh"
 #include "prof/report.hh"
 #include "prof/whatif.hh"
 #include "telemetry/phase.hh"
@@ -44,6 +45,8 @@ TraceOptions::fromArgs(int &argc, char **argv)
             opts.blamePath = arg + 8;
         } else if (std::strncmp(arg, "--whatif=", 9) == 0) {
             opts.whatifPath = arg + 9;
+        } else if (std::strncmp(arg, "--lanes=", 8) == 0) {
+            opts.lanesPath = arg + 8;
         } else {
             argv[out++] = argv[i];
         }
@@ -77,6 +80,9 @@ TraceOptions::registerFlags(CliParser &parser)
     parser.addValue("--whatif", &whatifPath,
                     "write the tsm-whatif-v1 counterfactual lever table "
                     "to FILE");
+    parser.addValue("--lanes", &lanesPath,
+                    "write the tsm-parallel-v1 concurrency profile to "
+                    "FILE");
 }
 
 bool
@@ -85,7 +91,8 @@ TraceOptions::instrumented() const
     return !tracePath.empty() || metrics || digest || !reportPath.empty() ||
            !journalPath.empty() || !timelinePath.empty() ||
            progressMegacycles > 0 || !hostprofPath.empty() ||
-           !blamePath.empty() || !whatifPath.empty();
+           !blamePath.empty() || !whatifPath.empty() ||
+           !lanesPath.empty();
 }
 
 TraceSession::TraceSession() = default;
@@ -113,6 +120,8 @@ TraceSession::TraceSession(TraceOptions opts) : opts_(std::move(opts))
         blame_ = std::make_unique<BlameCollector>();
     if (!opts_.whatifPath.empty())
         whatif_ = std::make_unique<WhatIfCollector>();
+    if (!opts_.lanesPath.empty())
+        lanes_ = std::make_unique<LaneCollector>();
 }
 
 TraceSession::~TraceSession()
@@ -125,7 +134,7 @@ TraceSession::active() const
 {
     return chrome_ || metricsSink_ || digestSink_ || journal_ ||
            profile_ || timeline_ || progress_ || hostprof_ || blame_ ||
-           whatif_;
+           whatif_ || lanes_;
 }
 
 void
@@ -150,6 +159,10 @@ TraceSession::setRun(const std::string &bench, std::uint64_t seed)
     if (whatif_) {
         whatif_->setBench(bench);
         whatif_->setSeed(seed);
+    }
+    if (lanes_) {
+        lanes_->setBench(bench);
+        lanes_->setSeed(seed);
     }
 }
 
@@ -176,6 +189,8 @@ TraceSession::attach(Tracer &tracer)
         tracer.addSink(&blame_->sink());
     if (whatif_)
         tracer.addSink(&whatif_->sink());
+    if (lanes_)
+        tracer.addSink(&lanes_->sink());
 }
 
 void
@@ -201,6 +216,8 @@ TraceSession::detach()
         tracer_->removeSink(&blame_->sink());
     if (whatif_)
         tracer_->removeSink(&whatif_->sink());
+    if (lanes_)
+        tracer_->removeSink(&lanes_->sink());
     tracer_ = nullptr;
 }
 
@@ -310,6 +327,17 @@ TraceSession::finish()
             std::printf("whatif: wrote %s\n", opts_.whatifPath.c_str());
         else
             std::fprintf(stderr, "whatif: %s\n", error.c_str());
+    }
+    // Same isolation rule again: the concurrency profile rides alone
+    // so every other artifact stays byte-identical with and without
+    // --lanes.
+    if (lanes_) {
+        const Json report = lanes_->report();
+        std::string error;
+        if (writeProfileReport(opts_.lanesPath, report, &error))
+            std::printf("lanes: wrote %s\n", opts_.lanesPath.c_str());
+        else
+            std::fprintf(stderr, "lanes: %s\n", error.c_str());
     }
 }
 

@@ -29,6 +29,11 @@
  *                  schedule and write the ranked tsm-whatif-v1 lever
  *                  table to FILE (render and re-simulate with
  *                  tools/tsm_whatif, gate with tools/tsm_bench_diff)
+ *   --lanes=FILE   partition the event stream into per-chip/per-link
+ *                  lanes with conservative-lookahead phases and write
+ *                  the tsm-parallel-v1 concurrency profile to FILE
+ *                  (render and gate with tools/tsm_lanes, diff with
+ *                  tools/tsm_bench_diff)
  *
  * A TraceSession owns the sinks the options imply and attaches them to
  * whichever Tracer the harness is currently driving. The tracer is
@@ -52,6 +57,7 @@ namespace tsm {
 
 class BlameCollector;
 class HostProfiler;
+class LaneCollector;
 class ProfileCollector;
 class ProgressSink;
 class TimelineSampler;
@@ -92,6 +98,9 @@ struct TraceOptions
 
     /** What-if document output path; empty = no what-if analysis. */
     std::string whatifPath;
+
+    /** Lanes document output path; empty = no concurrency profiling. */
+    std::string lanesPath;
 
     /**
      * Scan argv for the options above, removing every recognized
@@ -174,6 +183,14 @@ class TraceSession
     WhatIfCollector *whatif() { return whatif_.get(); }
 
     /**
+     * The concurrency-profile collector, or nullptr when --lanes is
+     * off. Use it to attach the SSN schedule before the run so the
+     * lookahead and link directions are known at fold time —
+     * runScheduledScenario does this automatically.
+     */
+    LaneCollector *lanes() { return lanes_.get(); }
+
+    /**
      * Stamp run identity (bench name, seed) on every attached
      * collector — currently the profile collector and the timeline
      * sampler. Harness-specific extras (schedule, extra scalars) still
@@ -200,6 +217,7 @@ class TraceSession
     std::unique_ptr<HostProfiler> hostprof_;
     std::unique_ptr<BlameCollector> blame_;
     std::unique_ptr<WhatIfCollector> whatif_;
+    std::unique_ptr<LaneCollector> lanes_;
     Tracer *tracer_ = nullptr;
     bool finished_ = false;
 };

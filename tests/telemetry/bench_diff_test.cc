@@ -270,5 +270,69 @@ TEST(BenchDiff, WhatifGatesOnLeverRankAndDisappearance)
     EXPECT_EQ(missing->next, 1.0);
 }
 
+/** A minimal tsm-parallel-v1 document for the lanes-schema diffs. */
+Json
+lanesDoc(double bound16, double cpEvents)
+{
+    Json doc = Json::object();
+    doc.set("schema", Json("tsm-parallel-v1"));
+    Json totals = Json::object();
+    totals.set("events", 1000.0);
+    totals.set("cross_lane_events", 400.0);
+    totals.set("same_phase_cross_lane", 250.0);
+    doc.set("totals", std::move(totals));
+    doc.set("lanes_total", 12.0);
+    Json phases = Json::object();
+    phases.set("count", 40.0);
+    doc.set("phases", std::move(phases));
+    Json speedup = Json::array();
+    for (const double workers : {2.0, 4.0, 8.0, 16.0}) {
+        Json entry = Json::object();
+        entry.set("workers", workers);
+        entry.set("bound", workers == 16.0 ? bound16 : 2.0);
+        speedup.push(std::move(entry));
+    }
+    doc.set("speedup", std::move(speedup));
+    doc.set("speedup_inf", bound16);
+    Json critical = Json::object();
+    critical.set("events", cpEvents);
+    doc.set("critical_path", std::move(critical));
+    doc.set("lookahead_ps", 267210.0);
+    return doc;
+}
+
+TEST(BenchDiff, LanesSelfCompareIsClean)
+{
+    const Json doc = lanesDoc(4.3, 200);
+    const DiffResult diff = diffReports(doc, doc, 0.05);
+    EXPECT_FALSE(diff.regressed);
+    ASSERT_NE(find(diff, "totals.events"), nullptr);
+    ASSERT_NE(find(diff, "speedup.16.bound"), nullptr);
+    ASSERT_NE(find(diff, "critical_path.events"), nullptr);
+    const MetricDelta *look = find(diff, "lookahead_ps");
+    ASSERT_NE(look, nullptr);
+    EXPECT_EQ(look->verdict, MetricVerdict::Info);
+}
+
+TEST(BenchDiff, LanesGateOnShrinkingBoundsAndGrowingCriticalPath)
+{
+    const Json base = lanesDoc(4.3, 200);
+    // Shrinking exploitable parallelism is a regression...
+    const DiffResult shrunk = diffReports(base, lanesDoc(2.5, 200), 0.05);
+    EXPECT_TRUE(shrunk.regressed);
+    const MetricDelta *bound = find(shrunk, "speedup.16.bound");
+    ASSERT_NE(bound, nullptr);
+    EXPECT_EQ(bound->verdict, MetricVerdict::Regressed);
+    // ...a longer critical path is too...
+    const DiffResult longer = diffReports(base, lanesDoc(4.3, 400), 0.05);
+    EXPECT_TRUE(longer.regressed);
+    // ...but a *higher* bound only improves.
+    const DiffResult grown = diffReports(base, lanesDoc(6.0, 200), 0.05);
+    EXPECT_FALSE(grown.regressed);
+    const MetricDelta *up = find(grown, "speedup.16.bound");
+    ASSERT_NE(up, nullptr);
+    EXPECT_EQ(up->verdict, MetricVerdict::Improved);
+}
+
 } // namespace
 } // namespace tsm

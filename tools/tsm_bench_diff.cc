@@ -20,6 +20,7 @@
 #include "common/version.hh"
 #include "hostprof/hostprof.hh"
 #include "prof/blame.hh"
+#include "prof/lanes.hh"
 #include "prof/report.hh"
 #include "prof/whatif.hh"
 #include "telemetry/bench_diff.hh"
@@ -69,7 +70,7 @@ main(int argc, char **argv)
                         "tsm_bench_diff",
                         {tsm::kProfileSchema, tsm::kHostprofSchema,
                          tsm::kTimelineSchema, tsm::kBlameSchema,
-                         tsm::kWhatIfSchema})
+                         tsm::kWhatIfSchema, tsm::kLanesSchema})
                         .c_str());
         return 0;
     }

@@ -20,7 +20,12 @@
  *              transfer and per link the blamed shares sum exactly to
  *              the waits), its per-link waits reconcile with the
  *              profiler's queue-delay account, and two executions
- *              produce byte-identical blame documents.
+ *              produce byte-identical blame documents;
+ *   lanes      the tsm-parallel-v1 concurrency profile reconciles
+ *              exactly (per-kind lane totals and per-phase counts
+ *              each sum to the live event total, speedup bounds are
+ *              >= 1, monotone, and capped by the critical path) and
+ *              two executions produce byte-identical lanes documents.
  *
  * On a failure the scenario is greedily shrunk (re-testing candidate
  * simplifications until none still fails) and the minimal reproducer
@@ -54,6 +59,7 @@ struct Invariants
     bool journal = true;
     bool waterfall = true;
     bool blame = true;
+    bool lanes = true;
 };
 
 /**
@@ -77,14 +83,17 @@ check(const Scenario &sc, const Invariants &which,
             return "roundtrip";
     }
 
-    if (which.journal || which.waterfall || which.blame) {
+    if (which.journal || which.waterfall || which.blame ||
+        which.lanes) {
         const ScenarioExecution first = executeScenario(sc, {}, hp);
         if (which.waterfall &&
             (!first.allSpansClosed() || !first.waterfallsExact()))
             return "waterfall";
         if (which.blame && !first.blameExact())
             return "blame";
-        if (which.journal || which.blame) {
+        if (which.lanes && !first.lanesReconcile())
+            return "lanes";
+        if (which.journal || which.blame || which.lanes) {
             const ScenarioExecution second = executeScenario(sc);
             if (which.journal &&
                 (first.journal.empty() ||
@@ -96,6 +105,12 @@ check(const Scenario &sc, const Invariants &which,
                 (first.blameText.empty() ||
                  first.blameText != second.blameText))
                 return "blame";
+            // So must the concurrency profile — the speedup bounds
+            // included, not just the event counts.
+            if (which.lanes &&
+                (first.lanesText.empty() ||
+                 first.lanesText != second.lanesText))
+                return "lanes";
         }
     }
     return nullptr;
@@ -113,6 +128,7 @@ shrink(Scenario sc, const char *failed, const Invariants &which,
     only.waterfall = which.waterfall &&
                      std::string(failed) == "waterfall";
     only.blame = which.blame && std::string(failed) == "blame";
+    only.lanes = which.lanes && std::string(failed) == "lanes";
 
     bool shrunk = true;
     while (shrunk) {
@@ -159,7 +175,8 @@ main(int argc, char **argv)
     cli.addValue("--max-vectors", &maxVectors,
                  "tensor-size bound in vectors (default 48)");
     cli.addList("--skip-invariant", &skip,
-                "invariants to skip: roundtrip,journal,waterfall,blame");
+                "invariants to skip: "
+                "roundtrip,journal,waterfall,blame,lanes");
     cli.addValue("--save", &save,
                  "directory for shrunk reproducers (default .)");
     cli.addValue("--replay", &replay,
@@ -201,16 +218,19 @@ main(int argc, char **argv)
             which.waterfall = false;
         else if (s == "blame")
             which.blame = false;
+        else if (s == "lanes")
+            which.lanes = false;
         else {
             std::fprintf(stderr,
                          "tsm_fuzz: unknown invariant \"%s\" (known: "
-                         "roundtrip, journal, waterfall, blame)\n",
+                         "roundtrip, journal, waterfall, blame, "
+                         "lanes)\n",
                          s.c_str());
             return 2;
         }
     }
     if (!which.roundtrip && !which.journal && !which.waterfall &&
-        !which.blame) {
+        !which.blame && !which.lanes) {
         std::fprintf(stderr,
                      "tsm_fuzz: every invariant skipped — nothing to "
                      "check\n");
